@@ -1,0 +1,121 @@
+// Command evalall regenerates every figure of the paper's evaluation in
+// one run and prints a summary suitable for EXPERIMENTS.md: the Fig. 3
+// uniform-versus-CWD comparison, the Fig. 7 δ-versus-k sweep, and the
+// Fig. 10 δ-versus-time CMA series with the FRA comparison the paper quotes
+// ("the CMA's performance of δ is only 16% more than FRA's").
+//
+// Usage:
+//
+//	evalall           # quick profile (coarser lattices, fewer k points)
+//	evalall -full     # the paper's full resolution (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/field"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evalall: ")
+
+	full := flag.Bool("full", false, "run at the paper's full resolution")
+	ext := flag.Bool("ext", false, "also run the extension experiments (network cost, CMA vs centralized)")
+	flag.Parse()
+
+	gridN, deltaN, slots := 50, 50, 30
+	ks := []int{1, 10, 25, 50, 75, 100, 125, 150, 200}
+	if *full {
+		gridN, deltaN, slots = 100, 100, 45
+		ks = nil
+		for k := 1; k <= 200; k += 5 {
+			ks = append(ks, k)
+		}
+	}
+
+	forest := field.NewForest(field.DefaultForestConfig())
+	ref := forest.Reference()
+
+	fmt.Println("=== Fig. 3: uniform vs curvature-weighted distribution (16 nodes, peaks) ===")
+	cwdOpts := core.DefaultCWDOptions(16)
+	cwdRows, err := eval.CompareCWD(field.Peaks(ref.Bounds()), cwdOpts, deltaN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eval.WriteCWDTable(os.Stdout, cwdRows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Fig. 7: δ vs k, FRA vs random deployment ===")
+	kOpts := eval.DeltaVsKOptions{Rc: 10, GridN: gridN, DeltaN: deltaN, RandomDraws: 5, Seed: 1}
+	kRows, err := eval.DeltaVsK(ref, ks, kOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eval.WriteDeltaVsKTable(os.Stdout, kRows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Fig. 10: δ vs time, 100 mobile nodes with CMA ===")
+	w, err := sim.NewWorld(forest, field.GridLayout(forest.Bounds(), 100), sim.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tRows, err := eval.DeltaVsTime(w, slots, deltaN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eval.WriteDeltaVsTimeTable(os.Stdout, tRows); err != nil {
+		log.Fatal(err)
+	}
+	if conv, ok := eval.ConvergenceTime(tRows, 0.1); ok {
+		fmt.Printf("CMA converged at t=%.0f min\n", conv)
+	} else {
+		fmt.Println("CMA not converged within the run")
+	}
+
+	// The paper's final comparison: converged CMA δ vs FRA δ at k=100.
+	fraOpts := core.FRAOptions{K: 100, Rc: 10, GridN: gridN, AnchorCorners: true}
+	// Compare on the field slice at the end of the mobile run.
+	endSlice := field.Slice(forest, w.Time())
+	p, err := core.FRA(endSlice, fraOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fraEv, err := core.Evaluate(endSlice, p, 10, deltaN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmaDelta := tRows[len(tRows)-1].Delta
+	fmt.Printf("\nfinal comparison at t=%.0f: CMA δ=%.1f vs FRA δ=%.1f (ratio %.2f; paper reports ≈1.16)\n",
+		w.Time(), cmaDelta, fraEv.Delta, cmaDelta/fraEv.Delta)
+
+	if !*ext {
+		return
+	}
+
+	fmt.Println("\n=== Extension: collection cost & robustness of FRA networks ===")
+	nRows, err := eval.NetworkVsK(ref, []int{50, 100, 150}, kOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eval.WriteNetworkTable(os.Stdout, nRows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Extension: CMA vs centralized replanning (100 nodes, 20 min) ===")
+	mRows, err := eval.CompareMobile(forest, 100, 20, deltaN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eval.WriteMobileTable(os.Stdout, mRows); err != nil {
+		log.Fatal(err)
+	}
+}

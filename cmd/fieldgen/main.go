@@ -1,0 +1,76 @@
+// Command fieldgen generates a synthetic GreenOrbs-style environment trace
+// as CSV (t,x,y,z), the reproduction's stand-in for the project's
+// published sensor data (see DESIGN.md §3).
+//
+// Usage:
+//
+//	fieldgen                        # one epoch at t=0, 1-meter lattice
+//	fieldgen -times 0,15,30,45      # several epochs
+//	fieldgen -seed 7 -gaps 20 -o trace.csv
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/field"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fieldgen: ")
+
+	var (
+		out   = flag.String("o", "", "output file (default stdout)")
+		times = flag.String("times", "0", "comma-separated epoch times in minutes")
+		n     = flag.Int("grid", 100, "lattice divisions per side")
+		seed  = flag.Int64("seed", 2009, "canopy layout seed")
+		gaps  = flag.Int("gaps", 12, "number of canopy gaps")
+		noise = flag.Float64("noise", 0, "sensing noise standard deviation")
+	)
+	flag.Parse()
+
+	ts, err := parseTimes(*times)
+	if err != nil {
+		log.Fatalf("bad -times: %v", err)
+	}
+
+	cfg := field.DefaultForestConfig()
+	cfg.Seed = *seed
+	cfg.Gaps = *gaps
+	forest := field.NewForest(cfg)
+
+	records := field.GenerateTrace(forest, *n, ts, field.NewSampler(*noise, *seed))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := field.WriteTrace(w, records); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseTimes(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

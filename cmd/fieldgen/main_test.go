@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseTimes(t *testing.T) {
+	got, err := parseTimes("0,15, 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 15, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseTimes("1,b"); err == nil {
+		t.Error("want error for bad float")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadPositions(t *testing.T) {
+	got, err := readPositions(strings.NewReader("x,y\n1,2\n3.5,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].X != 1 || got[1].Y != 4 {
+		t.Errorf("positions = %v", got)
+	}
+	// No header also works.
+	got, err = readPositions(strings.NewReader("1,2\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("headerless = %v, %v", got, err)
+	}
+	// Bad coordinates after the first row are an error.
+	if _, err := readPositions(strings.NewReader("1,2\nx,y\n")); err == nil {
+		t.Error("want error for bad row")
+	}
+	// Short rows are an error.
+	if _, err := readPositions(strings.NewReader("1\n")); err == nil {
+		t.Error("want error for short row")
+	}
+}

@@ -1,0 +1,133 @@
+// Command osd runs the stationary-node (OSD) experiments of the paper:
+// FRA placements and the δ-versus-k sweep against random deployment
+// (Figs. 5, 6 and 7).
+//
+// Usage:
+//
+//	osd -k 100                 # one FRA placement, topology + surface render
+//	osd -sweep 1:200:10        # Fig. 7 sweep (min:max:step), text table
+//	osd -sweep 1:200:10 -csv   # same as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/field"
+	"repro/internal/surface"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("osd: ")
+
+	var (
+		k      = flag.Int("k", 100, "number of CPS nodes for a single placement")
+		sweep  = flag.String("sweep", "", "δ-vs-k sweep as min:max:step (Fig. 7)")
+		rc     = flag.Float64("rc", 10, "communication radius Rc in meters")
+		gridN  = flag.Int("grid", 100, "local-error lattice divisions per side")
+		deltaN = flag.Int("delta-grid", 100, "δ integration lattice divisions")
+		draws  = flag.Int("draws", 5, "random deployments averaged per k")
+		seed   = flag.Int64("seed", 1, "random baseline seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of a text table")
+		quiet  = flag.Bool("quiet", false, "suppress surface renders")
+	)
+	flag.Parse()
+
+	forest := field.NewForest(field.DefaultForestConfig())
+	ref := forest.Reference()
+
+	if *sweep != "" {
+		ks, err := parseSweep(*sweep)
+		if err != nil {
+			log.Fatalf("bad -sweep: %v", err)
+		}
+		opts := eval.DeltaVsKOptions{
+			Rc: *rc, GridN: *gridN, DeltaN: *deltaN,
+			RandomDraws: *draws, Seed: *seed,
+		}
+		rows, err := eval.DeltaVsK(ref, ks, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			err = eval.WriteDeltaVsKCSV(os.Stdout, rows)
+		} else {
+			err = eval.WriteDeltaVsKTable(os.Stdout, rows)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	opts := core.FRAOptions{K: *k, Rc: *rc, GridN: *gridN, AnchorCorners: true}
+	p, err := core.FRA(ref, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := core.Evaluate(ref, p, *rc, *deltaN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FRA k=%d: δ=%.1f refined=%d relays=%d connected=%v components=%d mean_degree=%.2f\n",
+		*k, ev.Delta, p.Refined, p.Relays, ev.Connected, ev.Components, ev.MeanDegree)
+
+	if *quiet {
+		return
+	}
+	fmt.Println("\ntopology (o = node, . = Rc link):")
+	if err := surface.RenderTopologyASCII(os.Stdout, ref.Bounds(), p.Nodes, *rc, 72, 36); err != nil {
+		log.Fatal(err)
+	}
+
+	samples := make([]field.Sample, 0, len(p.Nodes)+len(p.Anchors))
+	for _, pos := range p.Anchors {
+		samples = append(samples, field.Sample{Pos: pos, Z: ref.Eval(pos)})
+	}
+	for _, pos := range p.Nodes {
+		samples = append(samples, field.Sample{Pos: pos, Z: ref.Eval(pos)})
+	}
+	tin, err := surface.FromSamples(ref.Bounds(), samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreference surface:")
+	if err := surface.RenderASCII(os.Stdout, ref, 72, 36); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrebuilt surface (Delaunay interpolation of node samples):")
+	if err := surface.RenderASCII(os.Stdout, tin, 72, 36); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseSweep(s string) ([]int, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("want min:max:step, got %q", s)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %w", i, err)
+		}
+		vals[i] = v
+	}
+	min, max, step := vals[0], vals[1], vals[2]
+	if min < 1 || max < min || step < 1 {
+		return nil, fmt.Errorf("invalid range %d:%d:%d", min, max, step)
+	}
+	var ks []int
+	for k := min; k <= max; k += step {
+		ks = append(ks, k)
+	}
+	return ks, nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseSweep(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"1:10:3", []int{1, 4, 7, 10}, false},
+		{"5:5:1", []int{5}, false},
+		{"1:200:50", []int{1, 51, 101, 151}, false},
+		{"10:1:1", nil, true},
+		{"0:5:1", nil, true},
+		{"1:5:0", nil, true},
+		{"1:5", nil, true},
+		{"a:5:1", nil, true},
+		{"", nil, true},
+	}
+	for _, tc := range tests {
+		got, err := parseSweep(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%q: want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: got %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q: got %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Command ostd runs the mobile-node (OSTD) experiments of the paper:
+// 100 CMA nodes starting from a connected grid over the time-varying
+// forest-light field, reporting δ over time (Figs. 8, 9 and 10).
+//
+// Usage:
+//
+//	ostd                       # 45 slots (10:00→10:45), δ table
+//	ostd -slots 45 -csv        # same as CSV
+//	ostd -snap 0,25            # also render topology at those minutes
+//	ostd -concurrent -drop 0.2 # goroutine runtime with 20% message loss
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/surface"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ostd: ")
+
+	var (
+		k          = flag.Int("k", 100, "number of mobile CPS nodes")
+		slots      = flag.Int("slots", 45, "time slots (minutes) to simulate")
+		deltaN     = flag.Int("delta-grid", 100, "δ integration lattice divisions")
+		beta       = flag.Float64("beta", 2, "repulsion weight β")
+		noise      = flag.Float64("noise", 0, "sensing noise standard deviation")
+		seed       = flag.Int64("seed", 1, "noise / radio seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of a text table")
+		snaps      = flag.String("snap", "", "comma-separated minutes at which to render topology")
+		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node runtime")
+		drop       = flag.Float64("drop", 0, "message drop probability (concurrent runtime only)")
+	)
+	flag.Parse()
+
+	snapAt, err := parseSnaps(*snaps)
+	if err != nil {
+		log.Fatalf("bad -snap: %v", err)
+	}
+
+	forest := field.NewForest(field.DefaultForestConfig())
+	init := field.GridLayout(forest.Bounds(), *k)
+
+	if *concurrent {
+		runConcurrent(forest, init, *slots, *deltaN, *beta, *noise, *seed, *drop, snapAt)
+		return
+	}
+
+	opts := sim.DefaultOptions()
+	opts.Config.Beta = *beta
+	opts.NoiseStd = *noise
+	opts.Seed = *seed
+	w, err := sim.NewWorld(forest, init, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maybeSnap(forest.Bounds(), w.Positions(), w.Time(), opts.Config.Rc, snapAt)
+
+	rows := []eval.DeltaVsTimeRow{}
+	d0, err := w.Delta(*deltaN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = append(rows, eval.DeltaVsTimeRow{T: 0, Delta: d0, Connected: w.Connected()})
+	for s := 0; s < *slots; s++ {
+		st, err := w.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := w.Delta(*deltaN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, eval.DeltaVsTimeRow{
+			T: st.T, Delta: d, Moved: st.Moved,
+			MeanDisplacement: st.MeanDisplacement, Connected: w.Connected(),
+		})
+		maybeSnap(forest.Bounds(), w.Positions(), st.T, opts.Config.Rc, snapAt)
+	}
+	emit(rows, *csv)
+}
+
+func runConcurrent(forest *field.Forest, init []geom.Vec2, slots, deltaN int, beta, noise float64, seed int64, drop float64, snapAt map[float64]bool) {
+	opts := dist.DefaultOptions()
+	opts.Config.Beta = beta
+	opts.NoiseStd = noise
+	opts.Seed = seed
+	opts.DropProb = drop
+	r, err := dist.New(forest, init, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	maybeSnap(forest.Bounds(), r.Positions(), r.Time(), opts.Config.Rc, snapAt)
+
+	var rows []eval.DeltaVsTimeRow
+	rows = append(rows, eval.DeltaVsTimeRow{T: 0, Delta: deltaOf(forest, r.Positions(), 0, deltaN), Connected: r.Connected()})
+	for s := 0; s < slots; s++ {
+		st, err := r.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, eval.DeltaVsTimeRow{
+			T: st.T, Delta: deltaOf(forest, r.Positions(), st.T, deltaN),
+			Moved: st.Moved, MeanDisplacement: st.MeanDisplacement,
+			Connected: r.Connected(),
+		})
+		maybeSnap(forest.Bounds(), r.Positions(), st.T, opts.Config.Rc, snapAt)
+	}
+	emit(rows, false)
+}
+
+func deltaOf(dyn field.DynField, nodes []geom.Vec2, t float64, n int) float64 {
+	slice := field.Slice(dyn, t)
+	samples := make([]field.Sample, 0, len(nodes))
+	for _, p := range nodes {
+		samples = append(samples, field.Sample{Pos: p, Z: slice.Eval(p)})
+	}
+	d, err := surface.DeltaSamples(slice, samples, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
+func emit(rows []eval.DeltaVsTimeRow, csv bool) {
+	var err error
+	if csv {
+		err = eval.WriteDeltaVsTimeCSV(os.Stdout, rows)
+	} else {
+		err = eval.WriteDeltaVsTimeTable(os.Stdout, rows)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if conv, ok := eval.ConvergenceTime(rows, 0.1); ok {
+		fmt.Printf("converged at t=%.0f min (mean displacement < 0.1)\n", conv)
+	} else {
+		fmt.Println("not converged within the run")
+	}
+}
+
+func maybeSnap(region geom.Rect, nodes []geom.Vec2, t float64, rc float64, at map[float64]bool) {
+	if !at[t] {
+		return
+	}
+	fmt.Printf("\ntopology at t=%.0f min:\n", t)
+	if err := surface.RenderTopologyASCII(os.Stdout, region, nodes, rc, 72, 36); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+func parseSnaps(s string) (map[float64]bool, error) {
+	out := map[float64]bool{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = true
+	}
+	return out, nil
+}

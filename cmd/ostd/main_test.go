@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseSnaps(t *testing.T) {
+	got, err := parseSnaps("")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty: %v, %v", got, err)
+	}
+	got, err = parseSnaps("0, 25,45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []float64{0, 25, 45} {
+		if !got[want] {
+			t.Errorf("missing %v in %v", want, got)
+		}
+	}
+	if _, err := parseSnaps("0,x"); err == nil {
+		t.Error("want error for bad float")
+	}
+}

@@ -1,0 +1,80 @@
+// Command render visualizes an environment field — the reproduction's
+// stand-in for the paper's Matlab surface plots (Fig. 1 and the surface
+// panels of Figs. 5, 6, 8, 9).
+//
+// Usage:
+//
+//	render                      # forest reference surface as ASCII
+//	render -field peaks         # the Matlab peaks surface of Fig. 3
+//	render -t 25                # forest field at minute 25
+//	render -format pgm -o f.pgm # grayscale image
+//	render -format csv          # raw x,y,z grid
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/surface"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("render: ")
+
+	var (
+		name   = flag.String("field", "forest", "field to render: forest | peaks")
+		t      = flag.Float64("t", 0, "time in minutes (forest field)")
+		seed   = flag.Int64("seed", 2009, "forest canopy seed")
+		format = flag.String("format", "ascii", "output format: ascii | pgm | csv")
+		cols   = flag.Int("cols", 100, "render columns (ascii/pgm)")
+		rows   = flag.Int("rows", 50, "render rows (ascii/pgm)")
+		gridN  = flag.Int("grid", 100, "lattice divisions (csv)")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var f field.Field
+	switch *name {
+	case "forest":
+		cfg := field.DefaultForestConfig()
+		cfg.Seed = *seed
+		f = field.Slice(field.NewForest(cfg), *t)
+	case "peaks":
+		f = field.Peaks(geom.Square(100))
+	default:
+		log.Fatalf("unknown -field %q (want forest or peaks)", *name)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := file.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = file
+	}
+
+	var err error
+	switch *format {
+	case "ascii":
+		err = surface.RenderASCII(w, f, *cols, *rows)
+	case "pgm":
+		err = surface.RenderPGM(w, f, *cols, *rows)
+	case "csv":
+		err = surface.WriteGridCSV(w, f, *gridN)
+	default:
+		log.Fatalf("unknown -format %q (want ascii, pgm or csv)", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

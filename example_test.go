@@ -1,0 +1,95 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleFRA places stationary nodes against a known historical surface —
+// the paper's OSD problem.
+func ExampleFRA() {
+	ref := repro.Peaks(repro.Square(100))
+	opts := repro.DefaultFRAOptions(40)
+	opts.GridN = 25 // coarse lattice keeps the example fast
+
+	p, err := repro.FRA(ref, opts)
+	if err != nil {
+		panic(err)
+	}
+	ev, err := repro.Evaluate(ref, p, opts.Rc, 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes:", len(p.Nodes))
+	fmt.Println("connected:", ev.Connected)
+	// Output:
+	// nodes: 40
+	// connected: true
+}
+
+// ExampleDelta shows the paper's quality metric δ: the integrated
+// absolute difference between two surfaces (Theorem 3.1).
+func ExampleDelta() {
+	region := repro.Square(10)
+	f := repro.Peaks(region)
+	// δ(f, f) vanishes; δ against a flat zero surface is the volume under
+	// |f|.
+	fmt.Println(repro.Delta(f, f, 20) == 0)
+	// Output:
+	// true
+}
+
+// ExampleReconstruct rebuilds a surface from point samples by Delaunay
+// interpolation — the DT(x, y) of the paper.
+func ExampleReconstruct() {
+	samples := []repro.Sample{
+		{Pos: repro.V2(0, 0), Z: 0},
+		{Pos: repro.V2(10, 0), Z: 10},
+		{Pos: repro.V2(10, 10), Z: 20},
+		{Pos: repro.V2(0, 10), Z: 10},
+	}
+	tin, err := repro.Reconstruct(repro.Square(10), samples)
+	if err != nil {
+		panic(err)
+	}
+	// Linear interpolation of the plane z = x + y is exact.
+	fmt.Println(tin.Eval(repro.V2(5, 5)))
+	// Output:
+	// 10
+}
+
+// ExampleRelayPositions uses the FRA foresight-step primitive directly:
+// join disconnected installations with the minimum relay chain.
+func ExampleRelayPositions() {
+	stations := []repro.Vec2{repro.V2(0, 0), repro.V2(35, 0)}
+	fmt.Println("connected before:", repro.Connected(stations, 10))
+	relays := repro.RelayPositions(stations, 10)
+	fmt.Println("relays:", len(relays))
+	all := append(stations, relays...)
+	fmt.Println("connected after:", repro.Connected(all, 10))
+	// Output:
+	// connected before: false
+	// relays: 3
+	// connected after: true
+}
+
+// ExampleNewWorld runs the mobile OSTD scenario for a few slots.
+func ExampleNewWorld() {
+	forest := repro.NewForest(repro.DefaultForestConfig())
+	w, err := repro.NewWorld(forest, repro.GridLayout(forest.Bounds(), 100),
+		repro.DefaultWorldOptions())
+	if err != nil {
+		panic(err)
+	}
+	for slot := 0; slot < 3; slot++ {
+		if _, err := w.Step(); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("time:", w.Time())
+	fmt.Println("connected:", w.Connected())
+	// Output:
+	// time: 3
+	// connected: true
+}

@@ -1,0 +1,58 @@
+// Mobileswarm: 100 mobile CPS nodes explore a time-varying forest-light
+// field with the distributed CMA controller, running on the concurrent
+// goroutine-per-node runtime with a lossy radio. The swarm starts as a
+// connected grid with no global knowledge and redistributes toward the
+// curvature-weighted pattern while the LCM keeps the network connected —
+// the paper's OSTD scenario (Figs. 8-10).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	forest := repro.NewForest(repro.DefaultForestConfig())
+	initial := repro.GridLayout(forest.Bounds(), 100)
+
+	opts := repro.DefaultRuntimeOptions()
+	opts.NoiseStd = 0.05 // slightly noisy sensors
+	opts.DropProb = 0.1  // 10% of hello broadcasts are lost
+	swarm, err := repro.NewRuntime(forest, initial, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer swarm.Close()
+
+	fmt.Println("initial topology (10x10 grid, spacing = Rc):")
+	if err := repro.RenderTopology(os.Stdout, forest.Bounds(), swarm.Positions(), opts.Config.Rc, 72, 24); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nt(min)  moved  drags  mean|Fs|  mean_disp  connected")
+	for slot := 0; slot < 30; slot++ {
+		st, err := swarm.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if (slot+1)%5 == 0 {
+			fmt.Printf("%5.0f  %5d  %5d  %8.2f  %9.3f  %v\n",
+				st.T, st.Moved, st.Followed, st.MeanForce,
+				st.MeanDisplacement, swarm.Connected())
+		}
+	}
+
+	fmt.Println("\ntopology after 30 minutes of CMA:")
+	if err := repro.RenderTopology(os.Stdout, forest.Bounds(), swarm.Positions(), opts.Config.Rc, 72, 24); err != nil {
+		log.Fatal(err)
+	}
+	if !swarm.Connected() {
+		log.Fatal("connectivity invariant violated")
+	}
+	fmt.Println("\nnetwork stayed connected throughout — the LCM at work.")
+}

@@ -1,0 +1,71 @@
+// Quickstart: place 60 stationary CPS nodes over a forest-light
+// environment with FRA, check the connectivity constraint, compute the
+// paper's δ quality metric, and render the reference and rebuilt surfaces
+// side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The environment: a deterministic synthetic forest-light field
+	//    standing in for the GreenOrbs trace (see DESIGN.md §3).
+	forest := repro.NewForest(repro.DefaultForestConfig())
+	ref := forest.Reference()
+
+	// 2. Solve the OSD problem: where should 60 nodes sit so that the
+	//    Delaunay reconstruction from their samples is as close as
+	//    possible to the real surface, while staying connected at Rc?
+	opts := repro.DefaultFRAOptions(60)
+	placement, err := repro.FRA(ref, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FRA placed %d nodes: %d at max-local-error positions, %d connectivity relays\n",
+		len(placement.Nodes), placement.Refined, placement.Relays)
+
+	// 3. Score it: δ is the integrated |f - DT| over the region
+	//    (paper Theorem 3.1), plus connectivity statistics.
+	ev, err := repro.Evaluate(ref, placement, opts.Rc, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("δ = %.1f, connected = %v, mean degree = %.2f\n",
+		ev.Delta, ev.Connected, ev.MeanDegree)
+
+	// 4. Compare against the random-deployment baseline of Fig. 7.
+	rnd := repro.RandomPlacement(ref.Bounds(), 60, 42)
+	rnd.Anchors = placement.Anchors
+	rev, err := repro.Evaluate(ref, rnd, opts.Rc, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random baseline δ = %.1f (FRA is %.1f%% better)\n",
+		rev.Delta, 100*(1-ev.Delta/rev.Delta))
+
+	// 5. Visualize: reference surface, then the reconstruction from the
+	//    60 node samples.
+	samples := make([]repro.Sample, 0, len(placement.Nodes))
+	for _, pos := range append(placement.Anchors, placement.Nodes...) {
+		samples = append(samples, repro.Sample{Pos: pos, Z: ref.Eval(pos)})
+	}
+	tin, err := repro.Reconstruct(ref.Bounds(), samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreference surface:")
+	if err := repro.RenderASCII(os.Stdout, ref, 72, 24); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrebuilt from 60 samples:")
+	if err := repro.RenderASCII(os.Stdout, tin, 72, 24); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+// Relayplanner: use the foresight-step machinery on its own. Given a
+// handful of fixed installations (weather stations, gateways) that are too
+// far apart to talk to each other, compute the minimum relay nodes —
+// L(G, Rc) — and their positions — P(G, ·) — that join them into one
+// connected network, exactly the planning primitive FRA budgets for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Four far-apart installations on the 100×100 m² region.
+	stations := []repro.Vec2{
+		repro.V2(8, 12),
+		repro.V2(88, 15),
+		repro.V2(90, 85),
+		repro.V2(12, 90),
+	}
+	const rc = 10.0
+
+	fmt.Printf("stations connected at Rc=%.0f? %v\n", rc, repro.Connected(stations, rc))
+	need := repro.RelaysNeeded(stations, rc)
+	fmt.Printf("relays needed: %d\n", need)
+
+	relays := repro.RelayPositions(stations, rc)
+	all := append(append([]repro.Vec2{}, stations...), relays...)
+	fmt.Printf("after placing them: connected = %v (%d nodes total)\n",
+		repro.Connected(all, rc), len(all))
+
+	fmt.Println("\nnetwork map (o = node, . = link):")
+	if err := repro.RenderTopology(os.Stdout, repro.Square(100), all, rc, 72, 30); err != nil {
+		log.Fatal(err)
+	}
+
+	// The same primitive under a tighter radio: more relays.
+	for _, r := range []float64{20, 10, 5} {
+		fmt.Printf("Rc=%4.0f -> %d relays\n", r, repro.RelaysNeeded(stations, r))
+	}
+}

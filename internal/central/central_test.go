@@ -1,0 +1,152 @@
+package central
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+func forest() *field.Forest { return field.NewForest(field.DefaultForestConfig()) }
+
+func TestNewErrors(t *testing.T) {
+	f := forest()
+	if _, err := New(f, nil, DefaultOptions()); !errors.Is(err, ErrBadParams) {
+		t.Errorf("want ErrBadParams, got %v", err)
+	}
+	bad := DefaultOptions()
+	bad.Rc = 0
+	if _, err := New(f, field.GridLayout(f.Bounds(), 4), bad); !errors.Is(err, ErrBadParams) {
+		t.Errorf("want ErrBadParams, got %v", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	f := forest()
+	p, err := New(f, field.GridLayout(f.Bounds(), 4), Options{Rc: 10, MaxStep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.opts.GridN != 50 || p.opts.ReplanEvery != 10 || p.opts.SlotMinutes != 1 {
+		t.Errorf("defaults = %+v", p.opts)
+	}
+}
+
+func TestStepMovesTowardPlan(t *testing.T) {
+	f := forest()
+	init := field.GridLayout(f.Bounds(), 25)
+	opts := DefaultOptions()
+	opts.GridN = 25
+	p, err := New(f, init, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Time() != 1 {
+		t.Errorf("time = %v", p.Time())
+	}
+	if p.ReportsSent() != 25 {
+		t.Errorf("reports = %d, want 25 (one per node at the first replan)", p.ReportsSent())
+	}
+	// Velocity bound respected.
+	after := p.Positions()
+	for i, before := range init {
+		if d := before.Dist(after[i]); d > opts.MaxStep+1e-9 {
+			t.Errorf("node %d moved %v > MaxStep", i, d)
+		}
+	}
+}
+
+func TestReplanCadence(t *testing.T) {
+	f := forest()
+	opts := DefaultOptions()
+	opts.GridN = 20
+	opts.ReplanEvery = 5
+	p, err := New(f, field.GridLayout(f.Bounds(), 16), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 11; s++ {
+		if err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replans at slots 0, 5, 10 → 3 × 16 reports.
+	if p.ReportsSent() != 48 {
+		t.Errorf("reports = %d, want 48", p.ReportsSent())
+	}
+}
+
+func TestDeltaImprovesOnceArrived(t *testing.T) {
+	// With a single plan (no mid-flight replanning thrash), enough travel
+	// time to arrive, and a frozen field, δ must drop well below the
+	// grid's. Against a *time-varying* field the same stale plan ends up
+	// worse than never moving — the transit-lag/staleness effect the
+	// paper's centralization critique is about.
+	f := field.Static(forest().Reference())
+	opts := DefaultOptions()
+	opts.GridN = 25
+	opts.ReplanEvery = 1000 // plan once
+	p, err := New(f, field.GridLayout(geom.Square(100), 100), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := p.Delta(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 80; s++ {
+		if err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dEnd, err := p.Delta(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dEnd >= d0 {
+		t.Errorf("arrived centralized plan did not improve δ: %v -> %v", d0, dEnd)
+	}
+}
+
+func TestReplanThrashIsReal(t *testing.T) {
+	// The paper's argument made measurable: frequent replanning against a
+	// time-varying field keeps the swarm permanently in transit, and its
+	// communication bill grows linearly with replans.
+	f := forest()
+	opts := DefaultOptions()
+	opts.GridN = 25
+	opts.ReplanEvery = 5
+	p, err := New(f, field.GridLayout(f.Bounds(), 64), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 20; s++ {
+		if err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.ReportsSent() != 4*64 {
+		t.Errorf("reports = %d, want 256", p.ReportsSent())
+	}
+}
+
+func TestAssign(t *testing.T) {
+	nodes := []geom.Vec2{geom.V2(0, 0), geom.V2(10, 0)}
+	targets := []geom.Vec2{geom.V2(11, 0), geom.V2(1, 0)}
+	got := assign(nodes, targets)
+	if got[0] != geom.V2(1, 0) || got[1] != geom.V2(11, 0) {
+		t.Errorf("assign = %v, want crossing avoided", got)
+	}
+	// Fewer targets than nodes: the unmatched node holds position.
+	got = assign(nodes, targets[:1])
+	if got[1] != geom.V2(11, 0) {
+		t.Errorf("nearest node should take the single target: %v", got)
+	}
+	if got[0] != nodes[0] {
+		t.Errorf("unmatched node moved: %v", got)
+	}
+}

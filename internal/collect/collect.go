@@ -1,0 +1,186 @@
+// Package collect models the data-transmission side of the CPS network:
+// the paper constrains placements to a connected G(V,E) precisely so that
+// sampled data can be collected ("the CPS nodes are demanded to organize a
+// connected network for data transmission"). This package builds the
+// collection tree over the unit-disk graph and accounts for the per-epoch
+// convergecast cost — messages, hop depths and a distance-squared radio
+// energy model — so experiments can weigh reconstruction quality against
+// communication cost.
+package collect
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// ErrDisconnected is returned when some node cannot reach the sink.
+var ErrDisconnected = errors.New("collect: network does not reach the sink")
+
+// ErrBadSink is returned for an out-of-range sink index.
+var ErrBadSink = errors.New("collect: invalid sink")
+
+// Tree is a shortest-path collection tree rooted at a sink node.
+type Tree struct {
+	// Sink is the root vertex.
+	Sink int
+	// Parent maps each vertex to its next hop toward the sink (-1 for the
+	// sink itself).
+	Parent []int
+	// Depth is the hop count from each vertex to the sink.
+	Depth []int
+	// Cost is the accumulated Euclidean path length to the sink.
+	Cost []float64
+}
+
+// BuildTree computes the minimum-Euclidean-length routing tree to the sink
+// with Dijkstra over the unit-disk graph. Hop-count ties follow the lower
+// vertex index, keeping trees deterministic.
+func BuildTree(g *graph.Graph, sink int) (*Tree, error) {
+	n := g.N()
+	if sink < 0 || sink >= n {
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadSink, sink, n)
+	}
+	t := &Tree{
+		Sink:   sink,
+		Parent: make([]int, n),
+		Depth:  make([]int, n),
+		Cost:   make([]float64, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.Depth[i] = -1
+		t.Cost[i] = math.Inf(1)
+	}
+	t.Cost[sink] = 0
+	t.Depth[sink] = 0
+
+	pq := &costHeap{{v: sink, cost: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(costItem)
+		if item.cost > t.Cost[item.v] {
+			continue // stale entry
+		}
+		for _, w := range g.Neighbors(item.v) {
+			c := item.cost + g.Pos(item.v).Dist(g.Pos(w))
+			if c < t.Cost[w]-1e-15 {
+				t.Cost[w] = c
+				t.Parent[w] = item.v
+				t.Depth[w] = t.Depth[item.v] + 1
+				heap.Push(pq, costItem{v: w, cost: c})
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if math.IsInf(t.Cost[v], 1) {
+			return nil, fmt.Errorf("%w: vertex %d unreachable", ErrDisconnected, v)
+		}
+	}
+	return t, nil
+}
+
+type costItem struct {
+	v    int
+	cost float64
+}
+
+type costHeap []costItem
+
+func (h costHeap) Len() int      { return len(h) }
+func (h costHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h costHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].v < h[j].v
+}
+func (h *costHeap) Push(x any) { *h = append(*h, x.(costItem)) }
+func (h *costHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Stats is the cost of one convergecast epoch: every node originates one
+// report; interior nodes forward their whole subtree.
+type Stats struct {
+	// TotalTx is the total number of transmissions in the epoch.
+	TotalTx int
+	// MaxDepth is the deepest node's hop count.
+	MaxDepth int
+	// MeanDepth is the mean hop count over all nodes.
+	MeanDepth float64
+	// TxPerNode is each node's transmission count (its subtree size,
+	// except the sink which transmits nothing).
+	TxPerNode []int
+	// Energy is the epoch's radio energy under the d² path-loss model:
+	// each transmission over link length d costs d².
+	Energy float64
+	// Bottleneck is the maximum TxPerNode — the congestion hotspot next
+	// to the sink.
+	Bottleneck int
+}
+
+// Convergecast computes the per-epoch collection cost for the tree built
+// over graph g (g must be the same graph the tree was built from).
+func (t *Tree) Convergecast(g *graph.Graph) Stats {
+	n := len(t.Parent)
+	s := Stats{TxPerNode: make([]int, n)}
+	depthSum := 0
+	// Subtree sizes via one pass over depths: process vertices from the
+	// deepest up by counting contributions along parent chains. n is
+	// small; a direct per-vertex walk is clear and fast enough.
+	for v := 0; v < n; v++ {
+		depthSum += t.Depth[v]
+		if t.Depth[v] > s.MaxDepth {
+			s.MaxDepth = t.Depth[v]
+		}
+		if v == t.Sink {
+			continue
+		}
+		// The report from v is transmitted once by every vertex on the
+		// path from v up to (but excluding) the sink.
+		for u := v; u != t.Sink; u = t.Parent[u] {
+			s.TxPerNode[u]++
+			s.TotalTx++
+			link := g.Pos(u).Dist(g.Pos(t.Parent[u]))
+			s.Energy += link * link
+		}
+	}
+	if n > 0 {
+		s.MeanDepth = float64(depthSum) / float64(n)
+	}
+	for _, tx := range s.TxPerNode {
+		if tx > s.Bottleneck {
+			s.Bottleneck = tx
+		}
+	}
+	return s
+}
+
+// BestSink returns the vertex that minimizes the convergecast energy when
+// used as the sink, along with its stats. It returns ErrDisconnected when
+// the graph is not connected.
+func BestSink(g *graph.Graph) (int, Stats, error) {
+	if g.N() == 0 {
+		return -1, Stats{}, fmt.Errorf("%w: empty graph", ErrBadSink)
+	}
+	best := -1
+	var bestStats Stats
+	for v := 0; v < g.N(); v++ {
+		t, err := BuildTree(g, v)
+		if err != nil {
+			return -1, Stats{}, err
+		}
+		s := t.Convergecast(g)
+		if best == -1 || s.Energy < bestStats.Energy {
+			best, bestStats = v, s
+		}
+	}
+	return best, bestStats, nil
+}

@@ -1,0 +1,172 @@
+package collect
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+func chain(n int, spacing float64) *graph.Graph {
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		pts[i] = geom.V2(float64(i)*spacing, 0)
+	}
+	return graph.NewUnitDisk(pts, spacing)
+}
+
+func TestBuildTreeErrors(t *testing.T) {
+	g := chain(3, 5)
+	if _, err := BuildTree(g, -1); !errors.Is(err, ErrBadSink) {
+		t.Errorf("want ErrBadSink, got %v", err)
+	}
+	if _, err := BuildTree(g, 3); !errors.Is(err, ErrBadSink) {
+		t.Errorf("want ErrBadSink, got %v", err)
+	}
+	// Two disconnected clusters.
+	pts := []geom.Vec2{geom.V2(0, 0), geom.V2(5, 0), geom.V2(100, 0)}
+	if _, err := BuildTree(graph.NewUnitDisk(pts, 10), 0); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("want ErrDisconnected, got %v", err)
+	}
+}
+
+func TestBuildTreeChain(t *testing.T) {
+	g := chain(5, 8)
+	tree, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParent := []int{-1, 0, 1, 2, 3}
+	wantDepth := []int{0, 1, 2, 3, 4}
+	for v := range wantParent {
+		if tree.Parent[v] != wantParent[v] {
+			t.Errorf("parent[%d] = %d, want %d", v, tree.Parent[v], wantParent[v])
+		}
+		if tree.Depth[v] != wantDepth[v] {
+			t.Errorf("depth[%d] = %d, want %d", v, tree.Depth[v], wantDepth[v])
+		}
+		if math.Abs(tree.Cost[v]-8*float64(v)) > 1e-9 {
+			t.Errorf("cost[%d] = %v", v, tree.Cost[v])
+		}
+	}
+}
+
+func TestBuildTreeShortestPaths(t *testing.T) {
+	// A grid where Dijkstra must pick geometric shortest paths.
+	var pts []geom.Vec2
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			pts = append(pts, geom.V2(float64(i)*7, float64(j)*7))
+		}
+	}
+	g := graph.NewUnitDisk(pts, 10) // includes diagonals (9.9)
+	tree, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The far corner (3,3)·7 is best reached via three diagonal hops.
+	far := 15
+	wantCost := 3 * math.Hypot(7, 7)
+	if math.Abs(tree.Cost[far]-wantCost) > 1e-9 {
+		t.Errorf("corner cost = %v, want %v", tree.Cost[far], wantCost)
+	}
+}
+
+func TestTreeCostsMatchParentChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := make([]geom.Vec2, 60)
+	for i := range pts {
+		pts[i] = geom.V2(rng.Float64()*50, rng.Float64()*50)
+	}
+	g := graph.NewUnitDisk(pts, 15)
+	tree, err := BuildTree(g, 0)
+	if err != nil {
+		t.Skip("random draw disconnected; acceptable")
+	}
+	for v := range pts {
+		// Walking the parent chain must reach the sink in Depth[v] hops
+		// and accumulate exactly Cost[v].
+		hops, cost := 0, 0.0
+		for u := v; u != tree.Sink; u = tree.Parent[u] {
+			cost += g.Pos(u).Dist(g.Pos(tree.Parent[u]))
+			hops++
+			if hops > len(pts) {
+				t.Fatal("parent chain does not terminate")
+			}
+		}
+		if hops != tree.Depth[v] {
+			t.Errorf("vertex %d: chain hops %d != depth %d", v, hops, tree.Depth[v])
+		}
+		if math.Abs(cost-tree.Cost[v]) > 1e-9 {
+			t.Errorf("vertex %d: chain cost %v != cost %v", v, cost, tree.Cost[v])
+		}
+	}
+}
+
+func TestConvergecastChain(t *testing.T) {
+	g := chain(4, 5) // 0-1-2-3, sink 0
+	tree, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Convergecast(g)
+	// Node 3's report: tx by 3,2,1. Node 2's: by 2,1. Node 1's: by 1.
+	if s.TotalTx != 6 {
+		t.Errorf("TotalTx = %d, want 6", s.TotalTx)
+	}
+	want := []int{0, 3, 2, 1}
+	for v, tx := range want {
+		if s.TxPerNode[v] != tx {
+			t.Errorf("TxPerNode[%d] = %d, want %d", v, s.TxPerNode[v], tx)
+		}
+	}
+	if s.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d", s.MaxDepth)
+	}
+	if math.Abs(s.MeanDepth-1.5) > 1e-12 {
+		t.Errorf("MeanDepth = %v, want 1.5", s.MeanDepth)
+	}
+	if s.Bottleneck != 3 {
+		t.Errorf("Bottleneck = %d, want 3 (node next to sink)", s.Bottleneck)
+	}
+	// Energy: 6 transmissions over links of length 5 → 6·25.
+	if math.Abs(s.Energy-150) > 1e-9 {
+		t.Errorf("Energy = %v, want 150", s.Energy)
+	}
+}
+
+func TestConvergecastStar(t *testing.T) {
+	pts := []geom.Vec2{geom.V2(0, 0), geom.V2(5, 0), geom.V2(0, 5), geom.V2(-5, 0)}
+	g := graph.NewUnitDisk(pts, 6)
+	tree, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Convergecast(g)
+	if s.TotalTx != 3 {
+		t.Errorf("TotalTx = %d, want 3", s.TotalTx)
+	}
+	if s.Bottleneck != 1 {
+		t.Errorf("Bottleneck = %d, want 1", s.Bottleneck)
+	}
+}
+
+func TestBestSinkCentersChain(t *testing.T) {
+	g := chain(5, 5)
+	sink, stats, err := BestSink(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink != 2 {
+		t.Errorf("best sink = %d, want the chain middle 2", sink)
+	}
+	if stats.TotalTx == 0 {
+		t.Error("stats empty")
+	}
+	if _, _, err := BestSink(graph.NewUnitDisk(nil, 5)); err == nil {
+		t.Error("want error for empty graph")
+	}
+}

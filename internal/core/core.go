@@ -1,0 +1,267 @@
+// Package core implements the paper's primary contribution for the OSD
+// (optimal spatial distribution) problem: the Foresighted Refinement
+// Algorithm (FRA, Section 4.2), the random- and uniform-placement
+// baselines it is evaluated against, the curvature-weighted distribution
+// (CWD) pattern of Section 5.1, and the placement evaluator that scores a
+// distribution by the paper's δ metric under the connectivity constraint.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/surface"
+)
+
+// ErrBadParams is returned for non-positive k, Rc or grid resolution.
+var ErrBadParams = errors.New("core: invalid parameters")
+
+// Placement is the outcome of a distribution algorithm: node positions
+// plus bookkeeping about how they were chosen.
+type Placement struct {
+	// Nodes are the k node positions.
+	Nodes []geom.Vec2
+	// Refined counts nodes placed at maximum-local-error positions.
+	Refined int
+	// Relays counts nodes spent connecting the network (FRA's foresight
+	// step).
+	Relays int
+	// Anchors are virtual reference positions (region corners) whose
+	// historical values seed the reconstruction; they are not deployed
+	// nodes and do not count toward k.
+	Anchors []geom.Vec2
+}
+
+// FRAOptions configures the Foresighted Refinement Algorithm.
+type FRAOptions struct {
+	// K is the number of CPS nodes to place.
+	K int
+	// Rc is the communication radius for the connectivity constraint.
+	Rc float64
+	// GridN is the number of lattice divisions per side for the local
+	// error array (the paper's √A × √A array); 0 defaults to 100.
+	GridN int
+	// AnchorCorners seeds the initial triangulation with the four region
+	// corners valued from the historical surface (the paper's "Initialize
+	// A into 2 triangles by link (0,0) and (√A,√A)"). The corners are
+	// virtual — known from historical data — and are not deployed nodes.
+	// Disabled, the reconstruction covers only the nodes' convex hull.
+	AnchorCorners bool
+	// DisableForesight turns off the connectivity foresight step: all k
+	// nodes go to maximum-local-error positions and no relays are placed.
+	// This is the "refine only" ablation of DESIGN.md §5 — it typically
+	// yields a lower δ but a disconnected network, violating the paper's
+	// constraint.
+	DisableForesight bool
+}
+
+// DefaultFRAOptions returns the evaluation settings of the paper's
+// Section 6: Rc = 10 on the 100×100 region with a one-meter lattice.
+func DefaultFRAOptions(k int) FRAOptions {
+	return FRAOptions{K: k, Rc: 10, GridN: 100, AnchorCorners: true}
+}
+
+// FRA runs the Foresighted Refinement Algorithm against the historical
+// surface f and returns the chosen placement. The algorithm follows the
+// paper's Table 1: repeatedly add the position of maximum local error,
+// retriangulate, and before every selection check whether the remaining
+// budget is still sufficient to stitch the connectivity graph together —
+// when it is exactly sufficient, spend the rest on relay nodes along the
+// Prim/Kruskal component links.
+func FRA(f field.Field, opts FRAOptions) (Placement, error) {
+	if opts.K <= 0 || opts.Rc <= 0 {
+		return Placement{}, fmt.Errorf("%w: k=%d rc=%v", ErrBadParams, opts.K, opts.Rc)
+	}
+	gridN := opts.GridN
+	if gridN == 0 {
+		gridN = 100
+	}
+	if gridN < 1 {
+		return Placement{}, fmt.Errorf("%w: gridN=%d", ErrBadParams, opts.GridN)
+	}
+	region := f.Bounds()
+
+	tin := surface.NewTIN(region)
+	var placement Placement
+	if opts.AnchorCorners {
+		for _, c := range region.Corners() {
+			if err := tin.Add(field.Sample{Pos: c, Z: f.Eval(c)}); err != nil {
+				return Placement{}, fmt.Errorf("core: seed corner %v: %w", c, err)
+			}
+			placement.Anchors = append(placement.Anchors, c)
+		}
+	}
+
+	errGrid := surface.NewLocalErrorGrid(f, gridN)
+	errGrid.Update(tin)
+
+	selected := make([]geom.Vec2, 0, opts.K)
+	banned := make(map[geom.Vec2]bool)
+
+	addNode := func(p geom.Vec2) error {
+		if err := tin.Add(field.Sample{Pos: p, Z: f.Eval(p)}); err != nil {
+			return err
+		}
+		selected = append(selected, p)
+		return nil
+	}
+
+	spendRestOnRelays := func() {
+		for _, rp := range graph.RelayPositions(selected, opts.Rc) {
+			if len(selected) >= opts.K {
+				break
+			}
+			if err := addNode(region.ClampPoint(rp)); err != nil {
+				continue // duplicate relay position; skip
+			}
+			placement.Relays++
+		}
+	}
+
+	for len(selected) < opts.K {
+		remaining := opts.K - len(selected)
+		if !opts.DisableForesight && len(selected) > 0 &&
+			graph.RelaysNeeded(selected, opts.Rc) >= remaining {
+			// Foresight trigger: the rest of the budget goes to relays.
+			spendRestOnRelays()
+			break
+		}
+
+		// Refinement step: position of maximum local error, skipping
+		// positions whose addition would make connectivity unaffordable.
+		budget := remaining - 1
+		if opts.DisableForesight {
+			budget = int(^uint(0) >> 1) // unconstrained
+		}
+		p, ok := nextRefinement(errGrid, selected, banned, opts.Rc, budget)
+		if !ok {
+			if opts.DisableForesight {
+				break
+			}
+			spendRestOnRelays()
+			break
+		}
+		if err := addNode(p); err != nil {
+			banned[p] = true
+			continue
+		}
+		placement.Refined++
+		errGrid.Update(tin)
+	}
+
+	placement.Nodes = selected
+	return placement, nil
+}
+
+// nextRefinement scans lattice positions in decreasing local-error order
+// and returns the best position whose addition keeps the relay bill within
+// budgetAfter. ok is false when no position qualifies. Local errors are
+// highly peaked, so trying candidates in argmax order converges after a
+// handful of attempts in practice; the attempt budget bounds the worst
+// case.
+func nextRefinement(g *surface.LocalErrorGrid, selected []geom.Vec2, banned map[geom.Vec2]bool, rc float64, budgetAfter int) (geom.Vec2, bool) {
+	n := g.N()
+	tried := make(map[geom.Vec2]bool)
+	const maxAttempts = 64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		bestE := -1.0
+		var bestP geom.Vec2
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= n; j++ {
+				p := g.Pos(i, j)
+				if banned[p] || tried[p] {
+					continue
+				}
+				if e := g.Err(i, j); e > bestE {
+					bestE, bestP = e, p
+				}
+			}
+		}
+		if bestE < 0 {
+			return geom.Vec2{}, false
+		}
+		tried[bestP] = true
+		if containsPoint(selected, bestP) {
+			continue
+		}
+		// Affordability check: would connectivity still be payable after
+		// adding this node?
+		cand := append(append([]geom.Vec2(nil), selected...), bestP)
+		if graph.RelaysNeeded(cand, rc) <= budgetAfter {
+			return bestP, true
+		}
+	}
+	return geom.Vec2{}, false
+}
+
+func containsPoint(pts []geom.Vec2, p geom.Vec2) bool {
+	for _, q := range pts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomPlacement returns the paper's baseline: k positions drawn
+// uniformly at random over the region (Fig. 7's "random" curve).
+func RandomPlacement(region geom.Rect, k int, seed int64) Placement {
+	return Placement{Nodes: field.RandomPositions(region, k, seed)}
+}
+
+// UniformPlacement returns k positions on a centered grid — the uniform
+// distribution of the paper's Fig. 3(b).
+func UniformPlacement(region geom.Rect, k int) Placement {
+	return Placement{Nodes: field.GridLayout(region, k)}
+}
+
+// Evaluation scores a placement against a reference field.
+type Evaluation struct {
+	// Delta is the paper's δ: the integrated absolute difference between
+	// the reference surface and the Delaunay reconstruction from the
+	// placement's samples (Theorem 3.1).
+	Delta float64
+	// Connected reports whether the node graph at radius Rc is connected.
+	Connected bool
+	// Components is the number of connected components at radius Rc.
+	Components int
+	// MeanDegree is the average node degree at radius Rc.
+	MeanDegree float64
+}
+
+// Evaluate samples f at the placement's nodes (plus anchors), rebuilds the
+// surface by Delaunay interpolation and computes δ on an n-division
+// lattice, along with connectivity statistics at radius rc.
+func Evaluate(f field.Field, p Placement, rc float64, n int) (Evaluation, error) {
+	if len(p.Nodes) == 0 {
+		return Evaluation{}, fmt.Errorf("%w: empty placement", ErrBadParams)
+	}
+	samples := make([]field.Sample, 0, len(p.Nodes)+len(p.Anchors))
+	for _, pos := range p.Anchors {
+		samples = append(samples, field.Sample{Pos: pos, Z: f.Eval(pos)})
+	}
+	for _, pos := range p.Nodes {
+		samples = append(samples, field.Sample{Pos: pos, Z: f.Eval(pos)})
+	}
+	delta, err := surface.DeltaSamples(f, samples, n)
+	if err != nil {
+		return Evaluation{}, fmt.Errorf("core: evaluate placement: %w", err)
+	}
+	g := graph.NewUnitDisk(p.Nodes, rc)
+	deg := 0
+	for i := 0; i < g.N(); i++ {
+		deg += g.Degree(i)
+	}
+	ev := Evaluation{
+		Delta:      delta,
+		Connected:  g.Connected(),
+		Components: g.NumComponents(),
+	}
+	if g.N() > 0 {
+		ev.MeanDegree = float64(deg) / float64(g.N())
+	}
+	return ev, nil
+}

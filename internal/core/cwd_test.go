@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+func TestCWDPlacementBadParams(t *testing.T) {
+	f := field.Peaks(geom.Square(100))
+	if _, err := CWDPlacement(f, CWDOptions{K: 0, Rs: 5}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("k=0: want ErrBadParams, got %v", err)
+	}
+	if _, err := CWDPlacement(f, CWDOptions{K: 5, Rs: 0}); !errors.Is(err, ErrBadParams) {
+		t.Errorf("rs=0: want ErrBadParams, got %v", err)
+	}
+}
+
+func TestCWDPlacementBasics(t *testing.T) {
+	f := field.Peaks(geom.Square(100))
+	opts := DefaultCWDOptions(16)
+	opts.GridN = 25
+	opts.Iterations = 10
+	p, err := CWDPlacement(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 16 {
+		t.Fatalf("nodes = %d", len(p.Nodes))
+	}
+	for _, n := range p.Nodes {
+		if !f.Bounds().Contains(n) {
+			t.Errorf("node %v outside region", n)
+		}
+	}
+}
+
+func TestCWDPlacementDeterministic(t *testing.T) {
+	f := field.Peaks(geom.Square(100))
+	opts := DefaultCWDOptions(8)
+	opts.GridN = 20
+	opts.Iterations = 5
+	a, err := CWDPlacement(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CWDPlacement(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestCWDBeatsUniformOnCurvature(t *testing.T) {
+	// The Fig. 3 claim: the CWD topology "outlines the surface" — its
+	// nodes sit at higher-curvature positions than a uniform grid, and the
+	// resulting reconstruction δ is better.
+	f := field.Peaks(geom.Square(100))
+	opts := DefaultCWDOptions(16)
+	opts.GridN = 40
+	cwd, err := CWDPlacement(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := UniformPlacement(f.Bounds(), 16)
+
+	sc, err := ScoreCWD(f, cwd.Nodes, opts.Rc, opts.Rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := ScoreCWD(f, uni.Nodes, opts.Rc, opts.Rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalCurvature <= su.TotalCurvature {
+		t.Errorf("CWD total curvature %v not above uniform %v (Eqn 10)",
+			sc.TotalCurvature, su.TotalCurvature)
+	}
+
+	evCWD, err := Evaluate(f, cwd, opts.Rc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evUni, err := Evaluate(f, uni, opts.Rc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evCWD.Delta >= evUni.Delta {
+		t.Errorf("CWD δ=%v not better than uniform δ=%v", evCWD.Delta, evUni.Delta)
+	}
+}
+
+func TestScoreCWDErrors(t *testing.T) {
+	f := field.Peaks(geom.Square(100))
+	if _, err := ScoreCWD(f, nil, 10, 5); !errors.Is(err, ErrBadParams) {
+		t.Errorf("no nodes: want ErrBadParams, got %v", err)
+	}
+	if _, err := ScoreCWD(f, []geom.Vec2{geom.V2(1, 1)}, 0, 5); !errors.Is(err, ErrBadParams) {
+		t.Errorf("rc=0: want ErrBadParams, got %v", err)
+	}
+}
+
+func TestScoreCWDBorderCoverage(t *testing.T) {
+	f := field.Constant(geom.Square(100), 1)
+	center := []geom.Vec2{geom.V2(50, 50)}
+	s, err := ScoreCWD(f, center, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BorderCovered {
+		t.Error("single center node cannot cover borders at rc=10")
+	}
+	corners := []geom.Vec2{
+		geom.V2(5, 5), geom.V2(95, 5), geom.V2(95, 95), geom.V2(5, 95),
+	}
+	s, err = ScoreCWD(f, corners, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.BorderCovered {
+		t.Error("corner nodes at rc=10 should cover all borders")
+	}
+}
+
+func TestScoreCWDFlatFieldBalanced(t *testing.T) {
+	// On a constant field every curvature is zero: balance residual and
+	// total curvature must vanish.
+	f := field.Constant(geom.Square(100), 2)
+	nodes := UniformPlacement(f.Bounds(), 9).Nodes
+	s, err := ScoreCWD(f, nodes, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalCurvature > 1e-9 {
+		t.Errorf("flat total curvature = %v", s.TotalCurvature)
+	}
+	if s.BalanceResidual > 1e-9 {
+		t.Errorf("flat balance residual = %v", s.BalanceResidual)
+	}
+}
+
+func TestMeanNearestNeighborDist(t *testing.T) {
+	if got := MeanNearestNeighborDist(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := MeanNearestNeighborDist([]geom.Vec2{geom.V2(0, 0)}); got != 0 {
+		t.Errorf("single = %v", got)
+	}
+	nodes := []geom.Vec2{geom.V2(0, 0), geom.V2(3, 0), geom.V2(10, 0)}
+	// Nearest: 3 (0->1), 3 (1->0), 7 (2->1); mean = 13/3.
+	want := 13.0 / 3.0
+	if got := MeanNearestNeighborDist(nodes); got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}

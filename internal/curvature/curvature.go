@@ -1,0 +1,207 @@
+// Package curvature estimates the Gaussian curvature of the environment's
+// virtual surface from local samples, exactly as a CPS node does in the
+// paper (Section 5.2): fit the quadratic patch z = a·x² + b·x·y + c·y² to
+// the m samples in sensing range by least squares (Eqn 11), derive the
+// principal curvatures g1,2 = a + c ∓ √((a−c)² + b²) (Eqns 12–13), and
+// return G = g1·g2.
+package curvature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/linalg"
+)
+
+// ErrTooFewSamples is returned when fewer than three samples are
+// available — the quadratic has three unknowns.
+var ErrTooFewSamples = errors.New("curvature: need at least 3 samples")
+
+// Method selects the least-squares backend.
+type Method int
+
+// Least-squares backends. QR is the default and the numerically robust
+// choice; Normal solves the normal equations and exists as the ablation
+// comparator (DESIGN.md §5).
+const (
+	QR Method = iota
+	Normal
+)
+
+// Estimate is a fitted local surface patch around a center position.
+type Estimate struct {
+	// A, B, C are the fitted quadratic coefficients of
+	// z = A·x² + B·x·y + C·y² in coordinates centered on the fit origin.
+	A, B, C float64
+	// G1 and G2 are the principal curvatures (paper Eqns 12–13).
+	G1, G2 float64
+	// Gaussian is G = G1·G2.
+	Gaussian float64
+	// Samples is the number of samples used for the fit.
+	Samples int
+}
+
+// Fit fits the quadratic patch to samples in coordinates centered at
+// origin. The paper's Eqn 11 fits the pure model z = a·x² + b·x·y + c·y²,
+// which implicitly assumes the samples are expressed relative to the local
+// tangent plane. With six or more samples we therefore fit the full
+// quadric z = a·x² + b·x·y + c·y² + d·x + e·y + f — absorbing the local
+// slope and offset into (d, e, f) so that (a, b, c) measure only curvature
+// — and read off the second-order coefficients; with 3–5 samples we fall
+// back to the paper's literal 3-term model.
+func Fit(origin geom.Vec2, samples []field.Sample, method Method) (Estimate, error) {
+	if len(samples) < 3 {
+		return Estimate{}, fmt.Errorf("%w: got %d", ErrTooFewSamples, len(samples))
+	}
+	n := len(samples)
+	cols := 6
+	if n < 6 {
+		cols = 3
+	}
+	quadA := linalg.NewMatrix(n, cols)
+	quadB := make([]float64, n)
+	for i, s := range samples {
+		x, y := s.Pos.X-origin.X, s.Pos.Y-origin.Y
+		quadA.Set(i, 0, x*x)
+		quadA.Set(i, 1, x*y)
+		quadA.Set(i, 2, y*y)
+		if cols == 6 {
+			quadA.Set(i, 3, x)
+			quadA.Set(i, 4, y)
+			quadA.Set(i, 5, 1)
+		}
+		quadB[i] = s.Z
+	}
+	coef, err := solve(quadA, quadB, method)
+	if err != nil {
+		// Degenerate geometry (e.g. collinear samples): no curvature
+		// information. Report a flat estimate rather than failing the
+		// node's control loop.
+		return Estimate{Samples: n}, nil
+	}
+	a, b, c := coef[0], coef[1], coef[2]
+	g1, g2 := linalg.PrincipalCurvatures(a, b, c)
+	return Estimate{
+		A: a, B: b, C: c,
+		G1: g1, G2: g2,
+		Gaussian: g1 * g2,
+		Samples:  n,
+	}, nil
+}
+
+func solve(a *linalg.Matrix, b []float64, method Method) ([]float64, error) {
+	if method == Normal {
+		return linalg.LeastSquaresNormal(a, b)
+	}
+	return linalg.LeastSquares(a, b)
+}
+
+// FitNearest fits using only the m samples nearest to origin — the
+// "m nearest-neighbors method" of the paper. When fewer than m samples
+// exist, all are used.
+func FitNearest(origin geom.Vec2, samples []field.Sample, m int, method Method) (Estimate, error) {
+	if m < 3 {
+		m = 3
+	}
+	if len(samples) > m {
+		sorted := append([]field.Sample(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Pos.Dist2(origin) < sorted[j].Pos.Dist2(origin)
+		})
+		samples = sorted[:m]
+	}
+	return Fit(origin, samples, method)
+}
+
+// AbsGaussian returns |G| — the magnitude used for curvature weighting;
+// both bumps (G > 0) and saddles (G < 0) are information-rich regions
+// worth sampling densely.
+func (e Estimate) AbsGaussian() float64 { return math.Abs(e.Gaussian) }
+
+// Map samples the analytic Gaussian curvature of a field over an
+// (n+1)×(n+1) lattice by local quadratic fits with the given sensing
+// radius, returning a field of |G| values. It is used to compute the
+// curvature-weighted target distribution (CWD) when global information is
+// available (paper Section 5.1).
+func Map(f field.Field, n int, rs float64, method Method) (*GridMap, error) {
+	if n < 1 {
+		n = 1
+	}
+	if rs <= 0 {
+		return nil, fmt.Errorf("curvature: sensing radius must be positive, got %v", rs)
+	}
+	sampler := field.NewSampler(0, 1)
+	g := &GridMap{region: f.Bounds(), n: n, vals: make([]float64, (n+1)*(n+1))}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			p := g.pos(i, j)
+			est, err := Fit(p, sampler.Disc(f, p, rs), method)
+			if err != nil {
+				return nil, fmt.Errorf("curvature: map cell (%d,%d): %w", i, j, err)
+			}
+			g.vals[i*(n+1)+j] = est.AbsGaussian()
+		}
+	}
+	return g, nil
+}
+
+// GridMap is a lattice of curvature magnitudes over a region.
+type GridMap struct {
+	region geom.Rect
+	n      int
+	vals   []float64
+}
+
+// Bounds implements field.Field.
+func (g *GridMap) Bounds() geom.Rect { return g.region }
+
+// Eval implements field.Field by nearest-lattice lookup.
+func (g *GridMap) Eval(p geom.Vec2) float64 {
+	i := int(math.Round(float64(g.n) * (p.X - g.region.Min.X) / g.region.Width()))
+	j := int(math.Round(float64(g.n) * (p.Y - g.region.Min.Y) / g.region.Height()))
+	i = clampInt(i, 0, g.n)
+	j = clampInt(j, 0, g.n)
+	return g.vals[i*(g.n+1)+j]
+}
+
+// Max returns the lattice position and value of the maximum curvature.
+func (g *GridMap) Max() (geom.Vec2, float64) {
+	best := 0
+	for k, v := range g.vals {
+		if v > g.vals[best] {
+			best = k
+		}
+	}
+	return g.pos(best/(g.n+1), best%(g.n+1)), g.vals[best]
+}
+
+// Total returns the lattice sum of curvature values, used to normalize
+// curvature-weighted densities.
+func (g *GridMap) Total() float64 {
+	s := 0.0
+	for _, v := range g.vals {
+		s += v
+	}
+	return s
+}
+
+func (g *GridMap) pos(i, j int) geom.Vec2 {
+	return geom.V2(
+		g.region.Min.X+g.region.Width()*float64(i)/float64(g.n),
+		g.region.Min.Y+g.region.Height()*float64(j)/float64(g.n),
+	)
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,449 @@
+// Package delaunay implements an incremental Bowyer-Watson Delaunay
+// triangulation on the region plane. It is the interpolation substrate
+// DT(x, y) that both the FRA placement algorithm and the δ quality metric
+// are defined against (paper Section 3.1: "we also adopt Delaunay
+// triangulation z* = DT(x, y) to reconstruct an approximating surface").
+//
+// The triangulation works over a fixed bounding rectangle supplied at
+// construction: three synthetic "super-triangle" vertices far outside the
+// rectangle bootstrap the structure and are hidden from all public
+// accessors. Point location uses the remembering stochastic walk, giving
+// near-O(1) queries for the spatially coherent access patterns of grid
+// scans.
+package delaunay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// ErrOutOfBounds is returned when a point outside the construction
+// rectangle is inserted.
+var ErrOutOfBounds = errors.New("delaunay: point outside triangulation bounds")
+
+// ErrDuplicate is returned when an inserted point coincides with an
+// existing vertex; the existing vertex ID accompanies it via
+// DuplicateError.
+var ErrDuplicate = errors.New("delaunay: duplicate point")
+
+// DuplicateError wraps ErrDuplicate and carries the ID of the vertex the
+// new point collided with.
+type DuplicateError struct {
+	// ID is the existing vertex the insertion collided with.
+	ID int
+}
+
+// Error implements the error interface.
+func (e *DuplicateError) Error() string {
+	return fmt.Sprintf("delaunay: duplicate of vertex %d", e.ID)
+}
+
+// Is reports whether target is ErrDuplicate.
+func (e *DuplicateError) Is(target error) bool { return target == ErrDuplicate }
+
+// duplicateEps is the squared distance under which two inserted points are
+// considered the same vertex.
+const duplicateEps2 = 1e-18
+
+const nSuper = 3 // synthetic bootstrap vertices occupy IDs 0..2
+
+// tri is one triangle: vertex IDs in counter-clockwise order plus the
+// adjacent triangle index across the edge opposite each vertex (-1 = hull).
+type tri struct {
+	v     [3]int
+	adj   [3]int
+	alive bool
+}
+
+// Triangulation is an incremental Delaunay triangulation. The zero value
+// is not usable; construct with New.
+type Triangulation struct {
+	bounds geom.Rect
+	pts    []geom.Vec2 // all vertices, including the 3 super vertices
+	tris   []tri
+	free   []int // indices of dead triangles available for reuse
+	last   int   // triangle index where the previous walk ended
+}
+
+// New returns an empty triangulation able to accept any point inside
+// bounds.
+func New(bounds geom.Rect) *Triangulation {
+	// The super triangle must comfortably contain the bounds; a margin of
+	// several diagonals keeps its circumcircles from interfering with
+	// in-region geometry in practice.
+	c := bounds.Center()
+	d := bounds.Diagonal()
+	if d == 0 {
+		d = 1
+	}
+	m := 64 * d
+	t := &Triangulation{
+		bounds: bounds,
+		pts: []geom.Vec2{
+			{X: c.X - 2*m, Y: c.Y - m},
+			{X: c.X + 2*m, Y: c.Y - m},
+			{X: c.X, Y: c.Y + 2*m},
+		},
+	}
+	t.tris = []tri{{v: [3]int{0, 1, 2}, adj: [3]int{-1, -1, -1}, alive: true}}
+	return t
+}
+
+// NumVertices returns the number of real (caller-inserted) vertices.
+func (t *Triangulation) NumVertices() int { return len(t.pts) - nSuper }
+
+// Point returns the coordinates of vertex id (as returned by Insert).
+func (t *Triangulation) Point(id int) geom.Vec2 { return t.pts[id] }
+
+// Bounds returns the construction rectangle.
+func (t *Triangulation) Bounds() geom.Rect { return t.bounds }
+
+// Insert adds p and returns its vertex ID. Re-inserting an existing point
+// returns a *DuplicateError (errors.Is(err, ErrDuplicate)) carrying the
+// prior ID.
+func (t *Triangulation) Insert(p geom.Vec2) (int, error) {
+	if !p.IsFinite() || !t.bounds.Contains(p) {
+		return -1, fmt.Errorf("%w: %v not in %v", ErrOutOfBounds, p, t.bounds)
+	}
+	start, err := t.locate(p)
+	if err != nil {
+		return -1, err
+	}
+	// Duplicate check against the vertices of the containing triangle and
+	// its cavity is insufficient for near-coincident points that fall in a
+	// neighboring triangle, so check the containing triangle's vertices
+	// and, below, every cavity vertex.
+	for _, v := range t.tris[start].v {
+		if v >= nSuper && t.pts[v].Dist2(p) < duplicateEps2 {
+			return v, &DuplicateError{ID: v}
+		}
+	}
+
+	cavity := t.findCavity(p, start)
+	for _, ti := range cavity {
+		for _, v := range t.tris[ti].v {
+			if v >= nSuper && t.pts[v].Dist2(p) < duplicateEps2 {
+				return v, &DuplicateError{ID: v}
+			}
+		}
+	}
+
+	id := len(t.pts)
+	t.pts = append(t.pts, p)
+	t.retriangulate(p, id, cavity)
+	return id, nil
+}
+
+// findCavity returns the indices of all alive triangles whose circumcircle
+// contains p, found by flood fill from the containing triangle.
+func (t *Triangulation) findCavity(p geom.Vec2, start int) []int {
+	cavity := []int{start}
+	inCavity := map[int]bool{start: true}
+	for head := 0; head < len(cavity); head++ {
+		ti := cavity[head]
+		for _, nb := range t.tris[ti].adj {
+			if nb < 0 || inCavity[nb] {
+				continue
+			}
+			if t.circumContains(nb, p) {
+				inCavity[nb] = true
+				cavity = append(cavity, nb)
+			}
+		}
+	}
+	return cavity
+}
+
+// circumContains reports whether p lies inside the circumcircle of alive
+// triangle ti, treating super vertices symbolically as points at infinity.
+// A triangle with one infinite vertex has, as its "circumcircle", the open
+// half-plane on the infinite vertex's side of its finite edge — the
+// standard ghost-triangle semantics. Without this, hull slivers whose true
+// circumcircles exceed the (finite) super-triangle distance get glued to
+// super vertices and the visible triangulation develops holes near the
+// hull.
+func (t *Triangulation) circumContains(ti int, p geom.Vec2) bool {
+	tr := &t.tris[ti]
+	superIdx := -1
+	superCount := 0
+	for k, v := range tr.v {
+		if v < nSuper {
+			superIdx = k
+			superCount++
+		}
+	}
+	if superCount == 1 {
+		a := t.pts[tr.v[(superIdx+1)%3]]
+		b := t.pts[tr.v[(superIdx+2)%3]]
+		switch geom.Orient2D(a, b, p) {
+		case geom.CounterClockwise:
+			// Strictly on the infinite side of the finite (hull) edge.
+			return true
+		case geom.Collinear:
+			// Exactly on the hull edge: include the ghost so the edge is
+			// split rather than leaving a degenerate inner triangle.
+			return p.X >= math.Min(a.X, b.X)-1e-12 && p.X <= math.Max(a.X, b.X)+1e-12 &&
+				p.Y >= math.Min(a.Y, b.Y)-1e-12 && p.Y <= math.Max(a.Y, b.Y)+1e-12
+		default:
+			return false
+		}
+	}
+	return geom.InCircle(t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]], p)
+}
+
+// boundaryEdge is one directed edge on the rim of the cavity, with the
+// surviving triangle on its far side.
+type boundaryEdge struct {
+	a, b  int // vertex IDs, oriented counter-clockwise around the cavity
+	outer int // adjacent triangle outside the cavity, or -1 at the hull
+}
+
+// retriangulate removes the cavity and fans new triangles from id to each
+// boundary edge, fixing all adjacency links.
+func (t *Triangulation) retriangulate(p geom.Vec2, id int, cavity []int) {
+	inCavity := make(map[int]bool, len(cavity))
+	for _, ti := range cavity {
+		inCavity[ti] = true
+	}
+	var rim []boundaryEdge
+	for _, ti := range cavity {
+		tr := &t.tris[ti]
+		for i := 0; i < 3; i++ {
+			nb := tr.adj[i]
+			if nb >= 0 && inCavity[nb] {
+				continue
+			}
+			// Edge opposite vertex i runs v[i+1] -> v[i+2] (CCW).
+			rim = append(rim, boundaryEdge{
+				a:     tr.v[(i+1)%3],
+				b:     tr.v[(i+2)%3],
+				outer: nb,
+			})
+		}
+	}
+	for _, ti := range cavity {
+		t.tris[ti].alive = false
+		t.free = append(t.free, ti)
+	}
+	// One new triangle per rim edge: (a, b, id). Adjacency across (a, b)
+	// is the old outer triangle; across the two spoke edges it is the new
+	// triangle sharing that spoke, found via the vertex at the far end.
+	newByFirst := make(map[int]int, len(rim)) // rim edge start vertex -> new triangle
+	created := make([]int, 0, len(rim))
+	for _, e := range rim {
+		nt := t.alloc()
+		t.tris[nt] = tri{v: [3]int{e.a, e.b, id}, adj: [3]int{-1, -1, -1}, alive: true}
+		// adj[2] is opposite vertex id, i.e. across edge (a, b).
+		t.tris[nt].adj[2] = e.outer
+		if e.outer >= 0 {
+			t.setAdjAcross(e.outer, e.b, e.a, nt)
+		}
+		newByFirst[e.a] = nt
+		created = append(created, nt)
+	}
+	newBySecond := make(map[int]int, len(created)) // rim edge end vertex -> new triangle
+	for _, nt := range created {
+		newBySecond[t.tris[nt].v[1]] = nt
+	}
+	for _, nt := range created {
+		a, b := t.tris[nt].v[0], t.tris[nt].v[1]
+		// Across edge (b, id) — opposite vertex a — lies the new triangle
+		// whose rim edge starts at b.
+		if other, ok := newByFirst[b]; ok {
+			t.tris[nt].adj[0] = other
+		}
+		// Across edge (id, a) — opposite vertex b — lies the new triangle
+		// whose rim edge ends at a.
+		if other, ok := newBySecond[a]; ok {
+			t.tris[nt].adj[1] = other
+		}
+	}
+	if len(created) > 0 {
+		t.last = created[0]
+	}
+}
+
+// setAdjAcross points triangle ti's adjacency across edge (a, b) at value.
+func (t *Triangulation) setAdjAcross(ti, a, b, value int) {
+	tr := &t.tris[ti]
+	for i := 0; i < 3; i++ {
+		va, vb := tr.v[(i+1)%3], tr.v[(i+2)%3]
+		if (va == a && vb == b) || (va == b && vb == a) {
+			tr.adj[i] = value
+			return
+		}
+	}
+	panic(fmt.Sprintf("delaunay: triangle %d has no edge (%d,%d)", ti, a, b))
+}
+
+// alloc returns a reusable triangle slot.
+func (t *Triangulation) alloc() int {
+	if n := len(t.free); n > 0 {
+		ti := t.free[n-1]
+		t.free = t.free[:n-1]
+		return ti
+	}
+	t.tris = append(t.tris, tri{})
+	return len(t.tris) - 1
+}
+
+// locate returns the index of an alive triangle containing p, using a
+// neighbor walk from the last-touched triangle with a linear-scan fallback
+// for robustness.
+func (t *Triangulation) locate(p geom.Vec2) (int, error) {
+	cur := t.last
+	if cur < 0 || cur >= len(t.tris) || !t.tris[cur].alive {
+		cur = t.anyAlive()
+	}
+	maxSteps := 4 * (len(t.tris) + 8)
+	for step := 0; step < maxSteps; step++ {
+		tr := &t.tris[cur]
+		next := -1
+		for i := 0; i < 3; i++ {
+			a, b := t.pts[tr.v[(i+1)%3]], t.pts[tr.v[(i+2)%3]]
+			if geom.Orient2D(a, b, p) == geom.Clockwise {
+				next = tr.adj[i]
+				break
+			}
+		}
+		if next == -1 {
+			// No separating edge: p is inside (or on the border of) cur.
+			t.last = cur
+			return cur, nil
+		}
+		if next < 0 {
+			break // walked off the hull; fall through to scan
+		}
+		cur = next
+	}
+	// Robust fallback, O(n).
+	for i := range t.tris {
+		tr := &t.tris[i]
+		if !tr.alive {
+			continue
+		}
+		if geom.InTriangle(t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]], p) {
+			t.last = i
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: locate failed for %v", ErrOutOfBounds, p)
+}
+
+func (t *Triangulation) anyAlive() int {
+	for i := range t.tris {
+		if t.tris[i].alive {
+			return i
+		}
+	}
+	panic("delaunay: no alive triangles")
+}
+
+// Triangle is a triangle of real vertices, reported by Triangles.
+type Triangle struct {
+	// V holds the three vertex IDs in counter-clockwise order.
+	V [3]int
+}
+
+// Triangles returns all alive triangles none of whose vertices is a super
+// vertex, i.e. the visible triangulation of the inserted point set.
+func (t *Triangulation) Triangles() []Triangle {
+	var out []Triangle
+	for i := range t.tris {
+		tr := &t.tris[i]
+		if !tr.alive || tr.v[0] < nSuper || tr.v[1] < nSuper || tr.v[2] < nSuper {
+			continue
+		}
+		out = append(out, Triangle{V: tr.v})
+	}
+	return out
+}
+
+// Find returns the vertex IDs of the triangle of real vertices containing
+// p. ok is false when p is outside the convex hull of the inserted points
+// (the containing triangle touches a super vertex) or location fails.
+func (t *Triangulation) Find(p geom.Vec2) (v [3]int, ok bool) {
+	ti, err := t.locate(p)
+	if err != nil {
+		return v, false
+	}
+	tr := &t.tris[ti]
+	if tr.v[0] < nSuper || tr.v[1] < nSuper || tr.v[2] < nSuper {
+		return v, false
+	}
+	return tr.v, true
+}
+
+// NearestVertex returns the ID of the real vertex nearest to p, or -1 when
+// the triangulation is empty. It is the interpolation fallback outside the
+// convex hull.
+func (t *Triangulation) NearestVertex(p geom.Vec2) int {
+	best, bestD := -1, 0.0
+	for id := nSuper; id < len(t.pts); id++ {
+		d := t.pts[id].Dist2(p)
+		if best == -1 || d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// VertexIDs returns the IDs of all real vertices in insertion order.
+func (t *Triangulation) VertexIDs() []int {
+	out := make([]int, 0, t.NumVertices())
+	for id := nSuper; id < len(t.pts); id++ {
+		out = append(out, id)
+	}
+	return out
+}
+
+// checkInvariants validates structural invariants (adjacency symmetry,
+// counter-clockwise orientation and the empty-circumcircle property) and
+// returns the first violation found. Exposed to tests via export_test.go.
+func (t *Triangulation) checkInvariants() error {
+	for i := range t.tris {
+		tr := &t.tris[i]
+		if !tr.alive {
+			continue
+		}
+		a, b, c := t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]]
+		if geom.Orient2D(a, b, c) != geom.CounterClockwise {
+			return fmt.Errorf("triangle %d not CCW", i)
+		}
+		for e := 0; e < 3; e++ {
+			nb := tr.adj[e]
+			if nb < 0 {
+				continue
+			}
+			if !t.tris[nb].alive {
+				return fmt.Errorf("triangle %d adjacent to dead %d", i, nb)
+			}
+			if !t.mutualAdjacent(i, nb) {
+				return fmt.Errorf("adjacency %d->%d not mutual", i, nb)
+			}
+		}
+		// Empty circumcircle against every real vertex (O(n²) — tests
+		// only), under the same symbolic semantics as the construction.
+		for id := nSuper; id < len(t.pts); id++ {
+			if id == tr.v[0] || id == tr.v[1] || id == tr.v[2] {
+				continue
+			}
+			if t.circumContains(i, t.pts[id]) {
+				return fmt.Errorf("vertex %d violates empty circumcircle of triangle %d", id, i)
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Triangulation) mutualAdjacent(i, j int) bool {
+	for _, a := range t.tris[j].adj {
+		if a == i {
+			return true
+		}
+	}
+	return false
+}

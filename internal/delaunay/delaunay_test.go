@@ -1,0 +1,346 @@
+package delaunay
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func mustInsert(t *testing.T, tr *Triangulation, p geom.Vec2) int {
+	t.Helper()
+	id, err := tr.Insert(p)
+	if err != nil {
+		t.Fatalf("Insert(%v): %v", p, err)
+	}
+	return id
+}
+
+func TestInsertSinglePoint(t *testing.T) {
+	tr := New(geom.Square(100))
+	id := mustInsert(t, tr, geom.V2(50, 50))
+	if id < 0 {
+		t.Fatalf("id = %d", id)
+	}
+	if tr.NumVertices() != 1 {
+		t.Errorf("NumVertices = %d", tr.NumVertices())
+	}
+	if got := tr.Point(id); got != geom.V2(50, 50) {
+		t.Errorf("Point = %v", got)
+	}
+	if len(tr.Triangles()) != 0 {
+		t.Error("one point should yield no real triangles")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertTriangle(t *testing.T) {
+	tr := New(geom.Square(100))
+	mustInsert(t, tr, geom.V2(10, 10))
+	mustInsert(t, tr, geom.V2(90, 10))
+	mustInsert(t, tr, geom.V2(50, 80))
+	tris := tr.Triangles()
+	if len(tris) != 1 {
+		t.Fatalf("got %d triangles, want 1", len(tris))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertOutOfBounds(t *testing.T) {
+	tr := New(geom.Square(100))
+	if _, err := tr.Insert(geom.V2(101, 50)); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("want ErrOutOfBounds, got %v", err)
+	}
+	if _, err := tr.Insert(geom.V2(math.NaN(), 50)); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("NaN: want ErrOutOfBounds, got %v", err)
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tr := New(geom.Square(100))
+	id := mustInsert(t, tr, geom.V2(30, 40))
+	mustInsert(t, tr, geom.V2(60, 40))
+	mustInsert(t, tr, geom.V2(45, 70))
+	got, err := tr.Insert(geom.V2(30, 40))
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+	var dup *DuplicateError
+	if !errors.As(err, &dup) || dup.ID != id {
+		t.Errorf("duplicate ID = %v, want %d", err, id)
+	}
+	if got != id {
+		t.Errorf("returned id = %d, want %d", got, id)
+	}
+	if tr.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d after duplicate", tr.NumVertices())
+	}
+}
+
+func TestSquareCornersTwoTriangles(t *testing.T) {
+	// The FRA initial state: region corners linked along one diagonal.
+	tr := New(geom.Square(100))
+	for _, p := range geom.Square(100).Corners() {
+		mustInsert(t, tr, p)
+	}
+	if got := len(tr.Triangles()); got != 2 {
+		t.Errorf("4 corners gave %d triangles, want 2", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelaunayPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New(geom.Square(100))
+	for i := 0; i < 120; i++ {
+		p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+		if _, err := tr.Insert(p); err != nil && !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Euler check for a triangulated convex region (with super vertices):
+	// every insertion splits one face into three (net +2 alive triangles).
+	wantAlive := 1 + 2*tr.NumVertices()
+	if got := tr.AliveTriangleCount(); got != wantAlive {
+		t.Errorf("alive triangles = %d, want %d", got, wantAlive)
+	}
+}
+
+func TestDelaunayPropertyGrid(t *testing.T) {
+	// Regular grids are the cocircular worst case for Bowyer-Watson.
+	tr := New(geom.Square(100))
+	for i := 0; i <= 10; i++ {
+		for j := 0; j <= 10; j++ {
+			p := geom.V2(float64(i)*10, float64(j)*10)
+			if _, err := tr.Insert(p); err != nil {
+				t.Fatalf("grid insert (%d,%d): %v", i, j, err)
+			}
+		}
+	}
+	if tr.NumVertices() != 121 {
+		t.Fatalf("NumVertices = %d", tr.NumVertices())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A fully triangulated 10×10 grid of unit squares has 200 triangles.
+	if got := len(tr.Triangles()); got != 200 {
+		t.Errorf("grid triangles = %d, want 200", got)
+	}
+}
+
+func TestFindInsideHull(t *testing.T) {
+	tr := New(geom.Square(100))
+	for _, p := range geom.Square(100).Corners() {
+		mustInsert(t, tr, p)
+	}
+	v, ok := tr.Find(geom.V2(25, 25))
+	if !ok {
+		t.Fatal("Find failed inside hull")
+	}
+	a, b, c := tr.Point(v[0]), tr.Point(v[1]), tr.Point(v[2])
+	if !geom.InTriangle(a, b, c, geom.V2(25, 25)) {
+		t.Errorf("returned triangle %v %v %v does not contain query", a, b, c)
+	}
+}
+
+func TestFindOutsideHull(t *testing.T) {
+	tr := New(geom.Square(100))
+	mustInsert(t, tr, geom.V2(40, 40))
+	mustInsert(t, tr, geom.V2(60, 40))
+	mustInsert(t, tr, geom.V2(50, 60))
+	if _, ok := tr.Find(geom.V2(5, 5)); ok {
+		t.Error("Find should fail outside the convex hull")
+	}
+}
+
+func TestFindManyRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(geom.Square(100))
+	for _, p := range geom.Square(100).Corners() {
+		mustInsert(t, tr, p)
+	}
+	for i := 0; i < 60; i++ {
+		mustInsert(t, tr, geom.V2(1+rng.Float64()*98, 1+rng.Float64()*98))
+	}
+	for i := 0; i < 1000; i++ {
+		q := geom.V2(rng.Float64()*100, rng.Float64()*100)
+		v, ok := tr.Find(q)
+		if !ok {
+			t.Fatalf("query %v failed inside region with corner hull", q)
+		}
+		a, b, c := tr.Point(v[0]), tr.Point(v[1]), tr.Point(v[2])
+		if !geom.InTriangle(a, b, c, q) {
+			t.Fatalf("triangle does not contain %v", q)
+		}
+	}
+}
+
+func TestNearestVertex(t *testing.T) {
+	tr := New(geom.Square(100))
+	if got := tr.NearestVertex(geom.V2(1, 1)); got != -1 {
+		t.Errorf("empty NearestVertex = %d, want -1", got)
+	}
+	a := mustInsert(t, tr, geom.V2(10, 10))
+	b := mustInsert(t, tr, geom.V2(90, 90))
+	if got := tr.NearestVertex(geom.V2(0, 0)); got != a {
+		t.Errorf("NearestVertex = %d, want %d", got, a)
+	}
+	if got := tr.NearestVertex(geom.V2(100, 80)); got != b {
+		t.Errorf("NearestVertex = %d, want %d", got, b)
+	}
+}
+
+func TestVertexIDs(t *testing.T) {
+	tr := New(geom.Square(100))
+	want := []int{
+		mustInsert(t, tr, geom.V2(10, 10)),
+		mustInsert(t, tr, geom.V2(20, 30)),
+		mustInsert(t, tr, geom.V2(70, 60)),
+	}
+	got := tr.VertexIDs()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("VertexIDs[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCollinearInsertions(t *testing.T) {
+	tr := New(geom.Square(100))
+	for i := 0; i <= 10; i++ {
+		mustInsert(t, tr, geom.V2(float64(i)*10, 50))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Triangles()); got != 0 {
+		t.Errorf("collinear points gave %d real triangles, want 0", got)
+	}
+	// Add one off-line point: fan of 10 triangles appears.
+	mustInsert(t, tr, geom.V2(50, 80))
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Triangles()); got != 10 {
+		t.Errorf("fan has %d triangles, want 10", got)
+	}
+}
+
+func TestInsertOnExistingEdge(t *testing.T) {
+	tr := New(geom.Square(100))
+	mustInsert(t, tr, geom.V2(0, 0))
+	mustInsert(t, tr, geom.V2(100, 0))
+	mustInsert(t, tr, geom.V2(100, 100))
+	mustInsert(t, tr, geom.V2(0, 100))
+	// Midpoint of the shared diagonal.
+	mustInsert(t, tr, geom.V2(50, 50))
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Triangles()); got != 4 {
+		t.Errorf("got %d triangles, want 4", got)
+	}
+}
+
+func TestInvariantsUnderIncrementalStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(1234))
+	tr := New(geom.Square(100))
+	for i := 0; i < 300; i++ {
+		var p geom.Vec2
+		switch rng.Intn(3) {
+		case 0: // uniform
+			p = geom.V2(rng.Float64()*100, rng.Float64()*100)
+		case 1: // clustered
+			p = geom.V2(50+rng.NormFloat64()*5, 50+rng.NormFloat64()*5)
+		default: // near-grid (cocircular stress)
+			p = geom.V2(float64(rng.Intn(11))*10, float64(rng.Intn(11))*10)
+		}
+		p = geom.Square(100).ClampPoint(p)
+		if _, err := tr.Insert(p); err != nil && !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("insert %d (%v): %v", i, p, err)
+		}
+		if i%50 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsAccessor(t *testing.T) {
+	r := geom.Square(42)
+	if got := New(r).Bounds(); got != r {
+		t.Errorf("Bounds = %v", got)
+	}
+}
+
+func TestInsertOnHullEdge(t *testing.T) {
+	// FRA's local-error lattice includes points exactly on the region
+	// border; inserting one must split the hull edge, not leave holes.
+	tr := New(geom.Square(100))
+	for _, c := range geom.Square(100).Corners() {
+		mustInsert(t, tr, c)
+	}
+	mustInsert(t, tr, geom.V2(0, 37))   // on the west border
+	mustInsert(t, tr, geom.V2(58, 100)) // on the north border
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	area := 0.0
+	for _, triangle := range tr.Triangles() {
+		a, b, c := tr.Point(triangle.V[0]), tr.Point(triangle.V[1]), tr.Point(triangle.V[2])
+		area += math.Abs(geom.TriArea(a, b, c))
+	}
+	if math.Abs(area-10000) > 1e-9 {
+		t.Errorf("area = %v, want 10000 (no hull holes)", area)
+	}
+	// Queries right on the split edges still resolve.
+	for _, q := range []geom.Vec2{{X: 0, Y: 20}, {X: 0, Y: 60}, {X: 30, Y: 100}} {
+		if _, ok := tr.Find(q); !ok {
+			t.Errorf("Find(%v) failed after hull split", q)
+		}
+	}
+}
+
+func TestHullSliverNoAreaLoss(t *testing.T) {
+	// Regression for the super-triangle artifact: a point very close to
+	// (but not on) the border creates a sliver whose circumcircle is
+	// enormous; symbolic infinity semantics must keep it a real triangle.
+	tr := New(geom.Square(100))
+	for _, c := range geom.Square(100).Corners() {
+		mustInsert(t, tr, c)
+	}
+	mustInsert(t, tr, geom.V2(0.08296, 58.93))
+	area := 0.0
+	for _, triangle := range tr.Triangles() {
+		a, b, c := tr.Point(triangle.V[0]), tr.Point(triangle.V[1]), tr.Point(triangle.V[2])
+		area += math.Abs(geom.TriArea(a, b, c))
+	}
+	if math.Abs(area-10000) > 1e-6 {
+		t.Errorf("area = %v, want 10000", area)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+package delaunay
+
+// CheckInvariants exposes the internal structural validator to tests.
+func (t *Triangulation) CheckInvariants() error { return t.checkInvariants() }
+
+// AliveTriangleCount reports the number of alive triangles, including those
+// touching super vertices. Test-only.
+func (t *Triangulation) AliveTriangleCount() int {
+	n := 0
+	for i := range t.tris {
+		if t.tris[i].alive {
+			n++
+		}
+	}
+	return n
+}

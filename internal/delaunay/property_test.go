@@ -1,0 +1,101 @@
+package delaunay
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestQuickDelaunayInvariants drives random point batches through the
+// triangulation and asserts the structural invariants (adjacency symmetry,
+// CCW orientation, empty circumcircles) via testing/quick.
+func TestQuickDelaunayInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw)%40
+		tr := New(geom.Square(100))
+		for i := 0; i < n; i++ {
+			p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+			if _, err := tr.Insert(p); err != nil && !errors.Is(err, ErrDuplicate) {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTriangleAreasSumToHull checks that for points whose convex hull
+// is the full square (corners included), the real-triangle areas tile the
+// region exactly.
+func TestQuickTriangleAreasSumToHull(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(geom.Square(100))
+		for _, c := range geom.Square(100).Corners() {
+			if _, err := tr.Insert(c); err != nil {
+				return false
+			}
+		}
+		n := int(nRaw) % 30
+		for i := 0; i < n; i++ {
+			p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+			if _, err := tr.Insert(p); err != nil && !errors.Is(err, ErrDuplicate) {
+				return false
+			}
+		}
+		area := 0.0
+		for _, triangle := range tr.Triangles() {
+			a := tr.Point(triangle.V[0])
+			b := tr.Point(triangle.V[1])
+			c := tr.Point(triangle.V[2])
+			area += math.Abs(geom.TriArea(a, b, c))
+		}
+		return math.Abs(area-10000) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFindConsistent checks that Find, whenever it succeeds, returns
+// a triangle that actually contains the query point.
+func TestQuickFindConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	tr := New(geom.Square(100))
+	for _, c := range geom.Square(100).Corners() {
+		if _, err := tr.Insert(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := tr.Insert(geom.V2(rng.Float64()*100, rng.Float64()*100)); err != nil &&
+			!errors.Is(err, ErrDuplicate) {
+			t.Fatal(err)
+		}
+	}
+	f := func(xRaw, yRaw float64) bool {
+		x := math.Abs(math.Mod(xRaw, 100))
+		y := math.Abs(math.Mod(yRaw, 100))
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		q := geom.V2(x, y)
+		v, ok := tr.Find(q)
+		if !ok {
+			return false // hull covers the whole square: must succeed
+		}
+		return geom.InTriangle(tr.Point(v[0]), tr.Point(v[1]), tr.Point(v[2]), q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

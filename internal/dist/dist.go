@@ -1,0 +1,318 @@
+// Package dist executes the CMA control loop on a real concurrency
+// substrate: one goroutine per CPS node, message passing over channels
+// through a radio layer that delivers only within communication range and
+// can drop messages. It demonstrates the paper's claim that CMA is "fully
+// distributed and it requires the device having merely single-hop
+// information" under an actual asynchronous execution model, and serves as
+// the ablation comparator for the sequential simulator (DESIGN.md §5) —
+// with a lossless radio the two produce identical trajectories.
+//
+// Per slot the protocol mirrors Table 2:
+//
+//  1. the world service hands each node its sensor readings (slotStart),
+//  2. every node broadcasts hello{pos, G} — Tx/Rx of lines 4–5,
+//  3. every node computes its virtual forces and replies with its
+//     movement decision,
+//  4. the world applies the velocity-limited moves and the LCM
+//     connectivity resolution, then starts the next slot.
+//
+// The world goroutine plays the role of physics (positions, sensing,
+// signal propagation), not of a central planner: all placement decisions
+// originate in the per-node goroutines from single-hop information.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mobile"
+	"repro/internal/sim"
+)
+
+// ErrNoNodes is returned when a runtime is created without nodes.
+var ErrNoNodes = errors.New("dist: no nodes")
+
+// ErrClosed is returned when stepping a closed runtime.
+var ErrClosed = errors.New("dist: runtime closed")
+
+// Options configures the distributed runtime.
+type Options struct {
+	// Config is the per-node CMA configuration.
+	Config mobile.Config
+	// NoiseStd is the sensing noise standard deviation.
+	NoiseStd float64
+	// Seed drives sensing noise and message loss.
+	Seed int64
+	// SlotMinutes is the duration of one slot; 0 defaults to 1.
+	SlotMinutes float64
+	// DropProb is the probability that any single hello delivery is lost
+	// (independently per receiver). CMA degrades gracefully: a lost hello
+	// means that neighbor is invisible for one slot.
+	DropProb float64
+}
+
+// DefaultOptions mirrors sim.DefaultOptions with a lossless radio.
+func DefaultOptions() Options {
+	return Options{Config: mobile.DefaultConfig(), SlotMinutes: 1}
+}
+
+// hello is the line-4 broadcast payload.
+type hello struct {
+	from int
+	pos  geom.Vec2
+	g    float64
+}
+
+// slotStart hands a node its per-slot inputs.
+type slotStart struct {
+	pos     geom.Vec2
+	samples []field.Sample
+}
+
+// decisionMsg is a node's reply to the world.
+type decisionMsg struct {
+	from int
+	dec  mobile.Decision
+	err  error
+}
+
+// node is the goroutine-side state: a controller plus its mailboxes.
+type node struct {
+	id    int
+	ctrl  *mobile.Controller
+	start chan slotStart
+	inbox chan []hello // the slot's delivered neighbor broadcasts
+}
+
+// Runtime runs CMA nodes as goroutines and coordinates time slots.
+type Runtime struct {
+	dyn     field.DynField
+	opts    Options
+	nodes   []*node
+	pos     []geom.Vec2
+	sampler *field.Sampler
+	radioRN *rand.Rand
+	t       float64
+
+	helloCh chan hello
+	decCh   chan decisionMsg
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// New creates a runtime and starts one goroutine per node. Callers must
+// Close it to stop the goroutines.
+func New(dyn field.DynField, positions []geom.Vec2, opts Options) (*Runtime, error) {
+	if len(positions) == 0 {
+		return nil, ErrNoNodes
+	}
+	if opts.SlotMinutes <= 0 {
+		opts.SlotMinutes = 1
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	if opts.DropProb < 0 || opts.DropProb >= 1 {
+		return nil, fmt.Errorf("dist: drop probability %v outside [0,1)", opts.DropProb)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runtime{
+		dyn:     dyn,
+		opts:    opts,
+		pos:     append([]geom.Vec2(nil), positions...),
+		sampler: field.NewSampler(opts.NoiseStd, opts.Seed),
+		radioRN: rand.New(rand.NewSource(opts.Seed + 1)),
+		helloCh: make(chan hello, len(positions)),
+		decCh:   make(chan decisionMsg, len(positions)),
+		cancel:  cancel,
+	}
+	region := dyn.Bounds()
+	for i := range r.pos {
+		r.pos[i] = region.ClampPoint(r.pos[i])
+		ctrl, err := mobile.NewController(i, opts.Config)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("dist: controller %d: %w", i, err)
+		}
+		n := &node{
+			id:    i,
+			ctrl:  ctrl,
+			start: make(chan slotStart, 1),
+			inbox: make(chan []hello, 1),
+		}
+		r.nodes = append(r.nodes, n)
+		r.wg.Add(1)
+		go r.runNode(ctx, n)
+	}
+	return r, nil
+}
+
+// runNode is the per-node goroutine: a message-driven loop with no access
+// to runtime state beyond its own channels and the shared radio.
+func (r *Runtime) runNode(ctx context.Context, n *node) {
+	defer r.wg.Done()
+	for {
+		var st slotStart
+		select {
+		case <-ctx.Done():
+			return
+		case st = <-n.start:
+		}
+		// Line 3: own curvature estimate (Plan on empty neighbor set).
+		ownEst, planErr := n.ctrl.Plan(st.pos, st.samples, nil)
+		// Lines 4: broadcast hello even when blind — neighbors still need
+		// our position for their force balance.
+		select {
+		case <-ctx.Done():
+			return
+		case r.helloCh <- hello{from: n.id, pos: st.pos, g: ownEst.G}:
+		}
+		// Line 5: receive the slot's deliveries.
+		var delivered []hello
+		select {
+		case <-ctx.Done():
+			return
+		case delivered = <-n.inbox:
+		}
+		if planErr != nil {
+			select {
+			case <-ctx.Done():
+			case r.decCh <- decisionMsg{from: n.id, err: planErr}:
+			}
+			continue
+		}
+		infos := make([]mobile.NeighborInfo, 0, len(delivered))
+		for _, h := range delivered {
+			infos = append(infos, mobile.NeighborInfo{ID: h.from, Pos: h.pos, G: h.g})
+		}
+		sort.Slice(infos, func(a, b int) bool { return infos[a].ID < infos[b].ID })
+		// Lines 6-18: force computation and decision.
+		dec, err := n.ctrl.Plan(st.pos, st.samples, infos)
+		select {
+		case <-ctx.Done():
+			return
+		case r.decCh <- decisionMsg{from: n.id, dec: dec, err: err}:
+		}
+	}
+}
+
+// Step advances the world by one slot, coordinating the node goroutines.
+func (r *Runtime) Step() (sim.StepStats, error) {
+	if r.closed {
+		return sim.StepStats{}, ErrClosed
+	}
+	rc := r.opts.Config.Rc
+
+	// Physics: sensing, in node-ID order so noise draws match the
+	// sequential simulator.
+	for i, n := range r.nodes {
+		samples := r.sampler.DiscTime(r.dyn, r.pos[i], r.opts.Config.Rs, r.t)
+		n.start <- slotStart{pos: r.pos[i], samples: samples}
+	}
+
+	// Radio: collect one hello per node, then deliver within range with
+	// independent per-receiver losses.
+	hellos := make([]hello, 0, r.N())
+	for range r.nodes {
+		hellos = append(hellos, <-r.helloCh)
+	}
+	sort.Slice(hellos, func(a, b int) bool { return hellos[a].from < hellos[b].from })
+	g := graph.NewUnitDisk(r.pos, rc)
+	for i, n := range r.nodes {
+		var delivered []hello
+		for _, j := range g.Neighbors(i) {
+			if r.opts.DropProb > 0 && r.radioRN.Float64() < r.opts.DropProb {
+				continue
+			}
+			delivered = append(delivered, hellos[j])
+		}
+		n.inbox <- delivered
+	}
+
+	// Collect decisions.
+	decs := make([]mobile.Decision, r.N())
+	for range r.nodes {
+		m := <-r.decCh
+		if m.err != nil {
+			return sim.StepStats{}, fmt.Errorf("dist: node %d: %w", m.from, m.err)
+		}
+		decs[m.from] = m.dec
+	}
+
+	// Physics: apply moves and resolve connectivity, identically to the
+	// sequential simulator.
+	var stats sim.StepStats
+	next := append([]geom.Vec2(nil), r.pos...)
+	neighborInfos := make([][]mobile.NeighborInfo, r.N())
+	for i := range r.pos {
+		for _, j := range g.Neighbors(i) {
+			neighborInfos[i] = append(neighborInfos[i], mobile.NeighborInfo{
+				ID: j, Pos: r.pos[j], G: hellos[j].g,
+			})
+		}
+		sort.Slice(neighborInfos[i], func(a, b int) bool {
+			return neighborInfos[i][a].ID < neighborInfos[i][b].ID
+		})
+	}
+	for i, d := range decs {
+		stats.MeanForce += d.Fs.Len()
+		if !d.Move {
+			continue
+		}
+		next[i] = r.nodes[i].ctrl.Step(r.pos[i], d)
+		stats.Moved++
+	}
+	stats.MeanForce /= float64(r.N())
+
+	resolved, follows := sim.ResolveLCM(r.dyn.Bounds(), rc, r.pos, next, neighborInfos)
+	next = resolved
+	stats.Followed = follows
+	if follows < 0 {
+		stats.Followed = 0
+		stats.Moved = 0
+	}
+
+	for i := range r.pos {
+		stats.MeanDisplacement += r.pos[i].Dist(next[i])
+	}
+	stats.MeanDisplacement /= float64(r.N())
+
+	r.pos = next
+	r.t += r.opts.SlotMinutes
+	stats.T = r.t
+	return stats, nil
+}
+
+// Close stops all node goroutines. Safe to call multiple times.
+func (r *Runtime) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.cancel()
+	r.wg.Wait()
+}
+
+// N returns the number of nodes.
+func (r *Runtime) N() int { return len(r.pos) }
+
+// Time returns the world time in minutes.
+func (r *Runtime) Time() float64 { return r.t }
+
+// Positions returns a copy of the current node positions.
+func (r *Runtime) Positions() []geom.Vec2 {
+	return append([]geom.Vec2(nil), r.pos...)
+}
+
+// Connected reports whether the node network is connected at Rc.
+func (r *Runtime) Connected() bool {
+	return graph.NewUnitDisk(r.pos, r.opts.Config.Rc).Connected()
+}

@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/mobile"
+	"repro/internal/sim"
+)
+
+func forest() *field.Forest { return field.NewForest(field.DefaultForestConfig()) }
+
+func TestNewErrors(t *testing.T) {
+	f := forest()
+	if _, err := New(f, nil, DefaultOptions()); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("want ErrNoNodes, got %v", err)
+	}
+	bad := DefaultOptions()
+	bad.Config.Rs = 0
+	if _, err := New(f, field.GridLayout(f.Bounds(), 4), bad); !errors.Is(err, mobile.ErrBadConfig) {
+		t.Errorf("want ErrBadConfig, got %v", err)
+	}
+	badDrop := DefaultOptions()
+	badDrop.DropProb = 1
+	if _, err := New(f, field.GridLayout(f.Bounds(), 4), badDrop); err == nil {
+		t.Error("want error for drop probability 1")
+	}
+}
+
+func TestRuntimeBasics(t *testing.T) {
+	f := forest()
+	r, err := New(f, field.GridLayout(f.Bounds(), 16), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.N() != 16 {
+		t.Errorf("N = %d", r.N())
+	}
+	st, err := r.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.T != 1 || r.Time() != 1 {
+		t.Errorf("time = %v / %v", st.T, r.Time())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	f := forest()
+	r, err := New(f, field.GridLayout(f.Bounds(), 4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close()
+	if _, err := r.Step(); !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestEquivalenceWithSequentialSim(t *testing.T) {
+	// With a lossless radio and identical seeds, the concurrent runtime
+	// must retrace the sequential simulator exactly — the distributed
+	// protocol adds no behavioral difference, only a real execution model.
+	f := forest()
+	init := field.GridLayout(f.Bounds(), 49)
+
+	w, err := sim.NewWorld(f, init, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(f, init, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for s := 0; s < 6; s++ {
+		if _, err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+		wp, rp := w.Positions(), r.Positions()
+		for i := range wp {
+			if wp[i] != rp[i] {
+				t.Fatalf("slot %d node %d diverged: sim %v vs dist %v",
+					s+1, i, wp[i], rp[i])
+			}
+		}
+	}
+}
+
+func TestEquivalenceWithNoise(t *testing.T) {
+	// Sensing noise must also replay identically (same sampler order).
+	f := forest()
+	init := field.GridLayout(f.Bounds(), 25)
+	wOpts := sim.DefaultOptions()
+	wOpts.NoiseStd = 0.2
+	wOpts.Seed = 5
+	rOpts := DefaultOptions()
+	rOpts.NoiseStd = 0.2
+	rOpts.Seed = 5
+
+	w, err := sim.NewWorld(f, init, wOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(f, init, rOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for s := 0; s < 3; s++ {
+		if _, err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wp, rp := w.Positions(), r.Positions()
+	for i := range wp {
+		if wp[i] != rp[i] {
+			t.Fatalf("node %d diverged under noise: %v vs %v", i, wp[i], rp[i])
+		}
+	}
+}
+
+func TestLossyRadioStillConnected(t *testing.T) {
+	// Message loss makes neighbors temporarily invisible; the LCM
+	// resolution still keeps the network connected.
+	f := forest()
+	opts := DefaultOptions()
+	opts.DropProb = 0.3
+	r, err := New(f, field.GridLayout(f.Bounds(), 100), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Connected() {
+		t.Fatal("initial grid not connected")
+	}
+	for s := 0; s < 8; s++ {
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Connected() {
+			t.Fatalf("disconnected at slot %d under lossy radio", s+1)
+		}
+	}
+}
+
+func TestLossyRadioDiverges(t *testing.T) {
+	// Dropped hellos must actually change behavior (otherwise the fault
+	// injection is dead code).
+	f := forest()
+	init := field.GridLayout(f.Bounds(), 100)
+	lossless, err := New(f, init, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossless.Close()
+	lossy := DefaultOptions()
+	lossy.DropProb = 0.5
+	r2, err := New(f, init, lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	for s := 0; s < 3; s++ {
+		if _, err := lossless.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r2.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1, p2 := lossless.Positions(), r2.Positions()
+	same := 0
+	for i := range p1 {
+		if p1[i] == p2[i] {
+			same++
+		}
+	}
+	if same == len(p1) {
+		t.Error("lossy and lossless runs identical; drops not effective")
+	}
+}
+
+func TestPositionsCopied(t *testing.T) {
+	f := forest()
+	r, err := New(f, []geom.Vec2{geom.V2(10, 10)}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Positions()[0] = geom.V2(-1, -1)
+	if r.Positions()[0] == geom.V2(-1, -1) {
+		t.Error("Positions exposed internal state")
+	}
+}

@@ -1,0 +1,281 @@
+// Package eval is the experiment harness: it regenerates the data series
+// behind every figure of the paper's evaluation (Section 6) — δ versus k
+// for FRA against random deployment (Fig. 7), δ versus time for CMA
+// (Fig. 10), the uniform-versus-CWD comparison (Fig. 3) and the per-run
+// surface snapshots (Figs. 5, 6, 8, 9) — and formats them as text tables
+// and CSV.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/sim"
+)
+
+// ErrBadParams is returned for invalid sweep parameters.
+var ErrBadParams = errors.New("eval: invalid parameters")
+
+// DeltaVsKRow is one point of the Fig. 7 sweep.
+type DeltaVsKRow struct {
+	// K is the node count.
+	K int
+	// FRA is δ for the FRA placement.
+	FRA float64
+	// Random is δ for random deployment, averaged over RandomDraws.
+	Random float64
+	// Refined and Relays break down the FRA placement.
+	Refined, Relays int
+	// Connected reports whether the FRA placement is connected at Rc.
+	Connected bool
+}
+
+// DeltaVsKOptions configures the Fig. 7 sweep.
+type DeltaVsKOptions struct {
+	// Rc is the communication radius (paper: 10).
+	Rc float64
+	// GridN is the FRA local-error lattice resolution (paper: the
+	// one-meter √A lattice, 100).
+	GridN int
+	// DeltaN is the δ integration lattice resolution.
+	DeltaN int
+	// RandomDraws is how many random deployments are averaged per k.
+	RandomDraws int
+	// Seed drives the random baseline.
+	Seed int64
+}
+
+// DefaultDeltaVsKOptions returns the paper's Fig. 7 setting.
+func DefaultDeltaVsKOptions() DeltaVsKOptions {
+	return DeltaVsKOptions{Rc: 10, GridN: 100, DeltaN: 100, RandomDraws: 5, Seed: 1}
+}
+
+// DeltaVsK runs FRA and the random baseline for each k and reports δ —
+// the data series of Fig. 7.
+func DeltaVsK(f field.Field, ks []int, opts DeltaVsKOptions) ([]DeltaVsKRow, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("%w: no k values", ErrBadParams)
+	}
+	if opts.RandomDraws < 1 {
+		opts.RandomDraws = 1
+	}
+	rows := make([]DeltaVsKRow, 0, len(ks))
+	for _, k := range ks {
+		fraOpts := core.FRAOptions{K: k, Rc: opts.Rc, GridN: opts.GridN, AnchorCorners: true}
+		p, err := core.FRA(f, fraOpts)
+		if err != nil {
+			return nil, fmt.Errorf("eval: FRA k=%d: %w", k, err)
+		}
+		ev, err := core.Evaluate(f, p, opts.Rc, opts.DeltaN)
+		if err != nil {
+			return nil, fmt.Errorf("eval: evaluate FRA k=%d: %w", k, err)
+		}
+		row := DeltaVsKRow{
+			K:         k,
+			FRA:       ev.Delta,
+			Refined:   p.Refined,
+			Relays:    p.Relays,
+			Connected: ev.Connected,
+		}
+		sum := 0.0
+		for d := 0; d < opts.RandomDraws; d++ {
+			r := core.RandomPlacement(f.Bounds(), k, opts.Seed+int64(d))
+			r.Anchors = p.Anchors // same reconstruction anchors for fairness
+			rev, err := core.Evaluate(f, r, opts.Rc, opts.DeltaN)
+			if err != nil {
+				return nil, fmt.Errorf("eval: evaluate random k=%d: %w", k, err)
+			}
+			sum += rev.Delta
+		}
+		row.Random = sum / float64(opts.RandomDraws)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DeltaVsTimeRow is one point of the Fig. 10 series.
+type DeltaVsTimeRow struct {
+	// T is the time in minutes from scenario start.
+	T float64
+	// Delta is δ at T.
+	Delta float64
+	// Moved is the number of CMA movers in the slot ending at T.
+	Moved int
+	// MeanDisplacement is the slot's mean node displacement.
+	MeanDisplacement float64
+	// Connected reports network connectivity at T.
+	Connected bool
+}
+
+// DeltaVsTime runs CMA from the given initial layout for the given number
+// of slots, measuring δ each slot — the data series of Fig. 10. The row at
+// T = 0 records the initial state.
+func DeltaVsTime(w *sim.World, slots, deltaN int) ([]DeltaVsTimeRow, error) {
+	if slots < 1 || deltaN < 1 {
+		return nil, fmt.Errorf("%w: slots=%d deltaN=%d", ErrBadParams, slots, deltaN)
+	}
+	d0, err := w.Delta(deltaN)
+	if err != nil {
+		return nil, fmt.Errorf("eval: initial δ: %w", err)
+	}
+	rows := []DeltaVsTimeRow{{T: w.Time(), Delta: d0, Connected: w.Connected()}}
+	snaps, err := w.Run(slots, deltaN)
+	if err != nil {
+		return nil, fmt.Errorf("eval: run: %w", err)
+	}
+	for _, s := range snaps {
+		rows = append(rows, DeltaVsTimeRow{
+			T:                s.Stats.T,
+			Delta:            s.Delta,
+			Moved:            s.Stats.Moved,
+			MeanDisplacement: s.Stats.MeanDisplacement,
+			Connected:        s.Connected,
+		})
+	}
+	return rows, nil
+}
+
+// ConvergenceTime returns the first time at which the mean displacement
+// stays below eps for the rest of the series (the paper reports CMA
+// converging around 10:30, i.e. slot 30). It reports ok=false when the
+// series never settles.
+func ConvergenceTime(rows []DeltaVsTimeRow, eps float64) (float64, bool) {
+	conv := -1.0
+	for _, r := range rows {
+		if r.T == 0 {
+			continue
+		}
+		if r.MeanDisplacement < eps {
+			if conv < 0 {
+				conv = r.T
+			}
+		} else {
+			conv = -1
+		}
+	}
+	if conv < 0 {
+		return 0, false
+	}
+	return conv, true
+}
+
+// CWDRow is one side of the Fig. 3 comparison.
+type CWDRow struct {
+	// Pattern names the distribution ("uniform" or "cwd").
+	Pattern string
+	// Delta is δ for the reconstruction from the pattern's samples.
+	Delta float64
+	// TotalCurvature is Σ|G| over node positions (Eqn 10's objective).
+	TotalCurvature float64
+	// BalanceResidual is the mean Eqn 9 imbalance.
+	BalanceResidual float64
+	// MeanNNDist is the mean nearest-neighbor distance.
+	MeanNNDist float64
+}
+
+// CompareCWD reproduces Fig. 3: the same k nodes arranged uniformly versus
+// curvature-weighted, scored by δ and the CWD requirements.
+func CompareCWD(f field.Field, opts core.CWDOptions, deltaN int) ([]CWDRow, error) {
+	uni := core.UniformPlacement(f.Bounds(), opts.K)
+	cwd, err := core.CWDPlacement(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("eval: cwd placement: %w", err)
+	}
+	out := make([]CWDRow, 0, 2)
+	for _, c := range []struct {
+		name string
+		p    core.Placement
+	}{{"uniform", uni}, {"cwd", cwd}} {
+		ev, err := core.Evaluate(f, c.p, opts.Rc, deltaN)
+		if err != nil {
+			return nil, fmt.Errorf("eval: evaluate %s: %w", c.name, err)
+		}
+		sc, err := core.ScoreCWD(f, c.p.Nodes, opts.Rc, opts.Rs)
+		if err != nil {
+			return nil, fmt.Errorf("eval: score %s: %w", c.name, err)
+		}
+		out = append(out, CWDRow{
+			Pattern:         c.name,
+			Delta:           ev.Delta,
+			TotalCurvature:  sc.TotalCurvature,
+			BalanceResidual: sc.BalanceResidual,
+			MeanNNDist:      core.MeanNearestNeighborDist(c.p.Nodes),
+		})
+	}
+	return out, nil
+}
+
+// WriteDeltaVsKTable renders the Fig. 7 series as an aligned text table.
+func WriteDeltaVsKTable(w io.Writer, rows []DeltaVsKRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\tδ(FRA)\tδ(random)\trefined\trelays\tconnected")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%d\t%d\t%v\n",
+			r.K, r.FRA, r.Random, r.Refined, r.Relays, r.Connected)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("eval: write table: %w", err)
+	}
+	return nil
+}
+
+// WriteDeltaVsKCSV renders the Fig. 7 series as CSV.
+func WriteDeltaVsKCSV(w io.Writer, rows []DeltaVsKRow) error {
+	var b strings.Builder
+	b.WriteString("k,delta_fra,delta_random,refined,relays,connected\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%g,%g,%d,%d,%v\n",
+			r.K, r.FRA, r.Random, r.Refined, r.Relays, r.Connected)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("eval: write csv: %w", err)
+	}
+	return nil
+}
+
+// WriteDeltaVsTimeTable renders the Fig. 10 series as an aligned table.
+func WriteDeltaVsTimeTable(w io.Writer, rows []DeltaVsTimeRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "t(min)\tδ\tmoved\tmean_disp\tconnected")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.1f\t%d\t%.3f\t%v\n",
+			r.T, r.Delta, r.Moved, r.MeanDisplacement, r.Connected)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("eval: write table: %w", err)
+	}
+	return nil
+}
+
+// WriteDeltaVsTimeCSV renders the Fig. 10 series as CSV.
+func WriteDeltaVsTimeCSV(w io.Writer, rows []DeltaVsTimeRow) error {
+	var b strings.Builder
+	b.WriteString("t,delta,moved,mean_disp,connected\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%g,%g,%d,%g,%v\n",
+			r.T, r.Delta, r.Moved, r.MeanDisplacement, r.Connected)
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("eval: write csv: %w", err)
+	}
+	return nil
+}
+
+// WriteCWDTable renders the Fig. 3 comparison as an aligned table.
+func WriteCWDTable(w io.Writer, rows []CWDRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "pattern\tδ\tΣ|G|\tbalance_residual\tmean_nn_dist")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.4g\t%.4g\t%.2f\n",
+			r.Pattern, r.Delta, r.TotalCurvature, r.BalanceResidual, r.MeanNNDist)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("eval: write table: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTerrainDeterministic(t *testing.T) {
+	a := NewTerrain(geom.Square(100), 5, 0.5, 11)
+	b := NewTerrain(geom.Square(100), 5, 0.5, 11)
+	for _, p := range GridPositions(geom.Square(100), 7) {
+		if a.Eval(p) != b.Eval(p) {
+			t.Fatalf("same seed diverged at %v", p)
+		}
+	}
+	c := NewTerrain(geom.Square(100), 5, 0.5, 12)
+	diff := 0
+	for _, p := range GridPositions(geom.Square(100), 7) {
+		if a.Eval(p) != c.Eval(p) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestTerrainFiniteEverywhere(t *testing.T) {
+	tr := NewTerrain(geom.Square(100), 6, 0.6, 3)
+	for _, p := range GridPositions(geom.Square(100), 50) {
+		z := tr.Eval(p)
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			t.Fatalf("non-finite height %v at %v", z, p)
+		}
+	}
+	if tr.Bounds() != geom.Square(100) {
+		t.Errorf("Bounds = %v", tr.Bounds())
+	}
+}
+
+func TestTerrainRoughnessIncreasesVariation(t *testing.T) {
+	smooth := NewTerrain(geom.Square(100), 6, 0.3, 5)
+	rough := NewTerrain(geom.Square(100), 6, 0.9, 5)
+	// Total variation along a transect.
+	tv := func(f Field) float64 {
+		s, prev := 0.0, f.Eval(geom.V2(0, 50))
+		for x := 1.0; x <= 100; x++ {
+			cur := f.Eval(geom.V2(x, 50))
+			s += math.Abs(cur - prev)
+			prev = cur
+		}
+		return s
+	}
+	if tv(rough) <= tv(smooth) {
+		t.Errorf("roughness 0.9 (%v) not rougher than 0.3 (%v)", tv(rough), tv(smooth))
+	}
+}
+
+func TestTerrainParamClamping(t *testing.T) {
+	// Out-of-range parameters are clamped rather than panicking.
+	tr := NewTerrain(geom.Square(10), 0, -1, 1)
+	if z := tr.Eval(geom.V2(5, 5)); math.IsNaN(z) {
+		t.Errorf("clamped terrain produced NaN")
+	}
+	tr = NewTerrain(geom.Square(10), 99, 2, 1)
+	if z := tr.Eval(geom.V2(5, 5)); math.IsNaN(z) {
+		t.Errorf("clamped terrain produced NaN")
+	}
+}
+
+func TestTerrainEvalClampsOutside(t *testing.T) {
+	tr := NewTerrain(geom.Square(100), 4, 0.5, 1)
+	// Outside queries clamp to the border instead of indexing out of range.
+	_ = tr.Eval(geom.V2(-10, -10))
+	_ = tr.Eval(geom.V2(200, 200))
+}
+
+func TestPlumeAdvectsAndDiffuses(t *testing.T) {
+	p := &Plume{
+		Region:        geom.Square(100),
+		Source:        geom.V2(20, 50),
+		Wind:          geom.V2(1, 0),
+		Mass:          100,
+		Sigma0:        3,
+		DiffusionRate: 0.5,
+	}
+	// At t=0 the peak is at the source.
+	if p.EvalAt(geom.V2(20, 50), 0) <= p.EvalAt(geom.V2(40, 50), 0) {
+		t.Error("peak not at source at t=0")
+	}
+	// At t=20 the center has moved to x=40.
+	if p.EvalAt(geom.V2(40, 50), 20) <= p.EvalAt(geom.V2(20, 50), 20) {
+		t.Error("plume did not advect with the wind")
+	}
+	// Diffusion lowers the peak over time.
+	if p.EvalAt(geom.V2(20, 50), 0) <= p.EvalAt(geom.V2(40, 50), 20) {
+		t.Error("peak concentration did not decay")
+	}
+	// Total finite, nonnegative.
+	for _, q := range GridPositions(p.Region, 10) {
+		v := p.EvalAt(q, 7)
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("bad concentration %v at %v", v, q)
+		}
+	}
+	if p.Bounds() != geom.Square(100) {
+		t.Errorf("Bounds = %v", p.Bounds())
+	}
+}
+
+func TestPlumeDegenerateSigma(t *testing.T) {
+	p := &Plume{Region: geom.Square(10), Sigma0: 0, DiffusionRate: 0}
+	if got := p.EvalAt(geom.V2(5, 5), 3); got != 0 {
+		t.Errorf("zero-spread plume = %v", got)
+	}
+}
+
+func TestRidge(t *testing.T) {
+	f := Ridge(geom.Square(100), geom.V2(10, 50), geom.V2(90, 50), 5, 4)
+	// On the ridge line: full height.
+	if got := f.Eval(geom.V2(50, 50)); math.Abs(got-5) > 1e-9 {
+		t.Errorf("on-ridge = %v, want 5", got)
+	}
+	// Perpendicular decay.
+	if f.Eval(geom.V2(50, 60)) >= f.Eval(geom.V2(50, 52)) {
+		t.Error("no perpendicular decay")
+	}
+	// Beyond the segment end the distance is to the endpoint.
+	end := f.Eval(geom.V2(95, 50))
+	if end >= f.Eval(geom.V2(90, 50)) {
+		t.Error("no decay past the segment end")
+	}
+	// Degenerate ridge (a == b) evaluates to zero.
+	z := Ridge(geom.Square(10), geom.V2(5, 5), geom.V2(5, 5), 1, 1)
+	if got := z.Eval(geom.V2(5, 5)); got != 0 {
+		t.Errorf("degenerate ridge = %v", got)
+	}
+	// Non-positive width evaluates to zero.
+	w := Ridge(geom.Square(10), geom.V2(0, 0), geom.V2(10, 0), 1, 0)
+	if got := w.Eval(geom.V2(5, 0)); got != 0 {
+		t.Errorf("zero-width ridge = %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+package geom
+
+import "math"
+
+// Orientation classifies the turn formed by an ordered point triple.
+type Orientation int
+
+// Possible orientations of an ordered triple (a, b, c).
+const (
+	Clockwise        Orientation = -1
+	Collinear        Orientation = 0
+	CounterClockwise Orientation = 1
+)
+
+// orientEps is the tolerance under which the orientation determinant is
+// treated as zero. The region coordinates in this repository are O(100),
+// so determinant magnitudes of interest are far above this threshold.
+const orientEps = 1e-12
+
+// Orient2D returns the orientation of the ordered triple (a, b, c):
+// CounterClockwise when c lies to the left of the directed line a→b,
+// Clockwise when to the right, and Collinear when (numerically) on it.
+func Orient2D(a, b, c Vec2) Orientation {
+	det := (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+	scale := math.Abs(b.X-a.X)*math.Abs(c.Y-a.Y) + math.Abs(b.Y-a.Y)*math.Abs(c.X-a.X)
+	if math.Abs(det) <= orientEps*(1+scale) {
+		return Collinear
+	}
+	if det > 0 {
+		return CounterClockwise
+	}
+	return Clockwise
+}
+
+// InCircle reports whether point d lies strictly inside the circumcircle of
+// the counter-clockwise triangle (a, b, c). This is the Delaunay empty-
+// circumcircle predicate. The caller must pass (a, b, c) in counter-
+// clockwise order; for clockwise input the sign of the result is flipped
+// internally so the predicate stays correct.
+func InCircle(a, b, c, d Vec2) bool {
+	adx, ady := a.X-d.X, a.Y-d.Y
+	bdx, bdy := b.X-d.X, b.Y-d.Y
+	cdx, cdy := c.X-d.X, c.Y-d.Y
+
+	ad2 := adx*adx + ady*ady
+	bd2 := bdx*bdx + bdy*bdy
+	cd2 := cdx*cdx + cdy*cdy
+
+	det := adx*(bdy*cd2-cdy*bd2) -
+		ady*(bdx*cd2-cdx*bd2) +
+		ad2*(bdx*cdy-cdx*bdy)
+
+	if Orient2D(a, b, c) == Clockwise {
+		det = -det
+	}
+	// A small positive tolerance keeps cocircular grids (a worst case for
+	// Bowyer-Watson) from flip-flopping on rounding noise.
+	scale := (ad2 + bd2 + cd2) * (math.Abs(adx) + math.Abs(bdx) + math.Abs(cdx) +
+		math.Abs(ady) + math.Abs(bdy) + math.Abs(cdy))
+	return det > orientEps*(1+scale)
+}
+
+// Circumcenter returns the center of the circle through a, b and c, and
+// reports false when the points are (numerically) collinear.
+func Circumcenter(a, b, c Vec2) (Vec2, bool) {
+	d := 2 * ((a.X-c.X)*(b.Y-c.Y) - (b.X-c.X)*(a.Y-c.Y))
+	if math.Abs(d) < orientEps {
+		return Vec2{}, false
+	}
+	a2 := a.Len2() - c.Len2()
+	b2 := b.Len2() - c.Len2()
+	ux := (a2*(b.Y-c.Y) - b2*(a.Y-c.Y)) / d
+	uy := (b2*(a.X-c.X) - a2*(b.X-c.X)) / d
+	return Vec2{ux, uy}, true
+}
+
+// TriArea returns the signed area of triangle (a, b, c); positive for
+// counter-clockwise order.
+func TriArea(a, b, c Vec2) float64 {
+	return 0.5 * ((b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X))
+}
+
+// Barycentric returns the barycentric coordinates (wa, wb, wc) of point p
+// with respect to triangle (a, b, c). The weights sum to 1. It reports
+// false for a degenerate triangle.
+func Barycentric(a, b, c, p Vec2) (wa, wb, wc float64, ok bool) {
+	den := (b.Y-c.Y)*(a.X-c.X) + (c.X-b.X)*(a.Y-c.Y)
+	if math.Abs(den) < orientEps {
+		return 0, 0, 0, false
+	}
+	wa = ((b.Y-c.Y)*(p.X-c.X) + (c.X-b.X)*(p.Y-c.Y)) / den
+	wb = ((c.Y-a.Y)*(p.X-c.X) + (a.X-c.X)*(p.Y-c.Y)) / den
+	wc = 1 - wa - wb
+	return wa, wb, wc, true
+}
+
+// InTriangle reports whether p lies inside or on the boundary of triangle
+// (a, b, c), using a small tolerance on the barycentric weights.
+func InTriangle(a, b, c, p Vec2) bool {
+	wa, wb, wc, ok := Barycentric(a, b, c, p)
+	if !ok {
+		return false
+	}
+	const eps = 1e-9
+	return wa >= -eps && wb >= -eps && wc >= -eps
+}
+
+// SegmentsIntersect reports whether segments (p1, p2) and (q1, q2)
+// properly intersect or touch.
+func SegmentsIntersect(p1, p2, q1, q2 Vec2) bool {
+	d1 := Orient2D(q1, q2, p1)
+	d2 := Orient2D(q1, q2, p2)
+	d3 := Orient2D(p1, p2, q1)
+	d4 := Orient2D(p1, p2, q2)
+	if d1 != d2 && d3 != d4 && d1 != Collinear && d2 != Collinear &&
+		d3 != Collinear && d4 != Collinear {
+		return true
+	}
+	return (d1 == Collinear && onSegment(q1, q2, p1)) ||
+		(d2 == Collinear && onSegment(q1, q2, p2)) ||
+		(d3 == Collinear && onSegment(p1, p2, q1)) ||
+		(d4 == Collinear && onSegment(p1, p2, q2))
+}
+
+// onSegment reports whether point p, known to be collinear with segment
+// (a, b), lies within the segment's bounding box.
+func onSegment(a, b, p Vec2) bool {
+	return math.Min(a.X, b.X)-orientEps <= p.X && p.X <= math.Max(a.X, b.X)+orientEps &&
+		math.Min(a.Y, b.Y)-orientEps <= p.Y && p.Y <= math.Max(a.Y, b.Y)+orientEps
+}

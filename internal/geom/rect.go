@@ -1,0 +1,105 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle, used for the region of interest A and
+// for bounding boxes. Min is the lower-left corner and Max the upper-right.
+type Rect struct {
+	Min, Max Vec2
+}
+
+// NewRect returns the rectangle spanned by the two corner points in any
+// order.
+func NewRect(a, b Vec2) Rect {
+	return Rect{
+		Min: Vec2{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Vec2{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Square returns the side×side region with its lower-left corner at the
+// origin — the canonical region of interest in the paper's evaluation
+// (100 × 100 m²).
+func Square(side float64) Rect {
+	return Rect{Max: Vec2{side, side}}
+}
+
+// Width returns the horizontal extent.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle's midpoint.
+func (r Rect) Center() Vec2 {
+	return Vec2{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Vec2) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ClampPoint returns p moved to the nearest point inside r.
+func (r Rect) ClampPoint(p Vec2) Vec2 {
+	return Vec2{clamp(p.X, r.Min.X, r.Max.X), clamp(p.Y, r.Min.Y, r.Max.Y)}
+}
+
+// Expand returns r grown by margin on every side.
+func (r Rect) Expand(margin float64) Rect {
+	return Rect{
+		Min: Vec2{r.Min.X - margin, r.Min.Y - margin},
+		Max: Vec2{r.Max.X + margin, r.Max.Y + margin},
+	}
+}
+
+// Corners returns the four corner points in counter-clockwise order
+// starting from Min.
+func (r Rect) Corners() [4]Vec2 {
+	return [4]Vec2{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// DistToBorder returns the distance from p to the nearest border of r.
+// Points outside r report 0.
+func (r Rect) DistToBorder(p Vec2) float64 {
+	if !r.Contains(p) {
+		return 0
+	}
+	d := math.Min(p.X-r.Min.X, r.Max.X-p.X)
+	return math.Min(d, math.Min(p.Y-r.Min.Y, r.Max.Y-p.Y))
+}
+
+// Diagonal returns the length of the rectangle's diagonal.
+func (r Rect) Diagonal() float64 { return r.Min.Dist(r.Max) }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%v - %v]", r.Min, r.Max)
+}
+
+// BoundingBox returns the smallest Rect containing all points. It reports
+// false for an empty input.
+func BoundingBox(pts []Vec2) (Rect, bool) {
+	if len(pts) == 0 {
+		return Rect{}, false
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r, true
+}

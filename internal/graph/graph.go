@@ -1,0 +1,346 @@
+// Package graph provides the communication-network substrate: unit-disk
+// graphs over node positions, connectivity queries (paper Definition 3.1's
+// "G(V,E) is connected" constraint), connected components, minimum
+// spanning trees and the relay-placement planner behind FRA's foresight
+// step — L(G, r), the least number of extra nodes that make G connected,
+// and P(G, i), positions for those nodes (paper Table 1 notation).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/spatial"
+)
+
+// Graph is an undirected graph over indexed vertices with optional plane
+// positions. The zero value is an empty graph.
+type Graph struct {
+	pos []geom.Vec2
+	adj [][]int
+}
+
+// unitDiskIndexThreshold is the node count above which edge enumeration
+// switches from the quadratic scan to the spatial hash.
+const unitDiskIndexThreshold = 256
+
+// NewUnitDisk builds the unit-disk graph over positions: an edge joins
+// every pair at distance ≤ rc (paper Section 3.2: "We provide edges when
+// the distance between any two vertices is no more than Rc"). Large point
+// sets are bucketed through a spatial hash so construction stays
+// near-linear in the number of edges.
+func NewUnitDisk(positions []geom.Vec2, rc float64) *Graph {
+	g := &Graph{
+		pos: append([]geom.Vec2(nil), positions...),
+		adj: make([][]int, len(positions)),
+	}
+	if len(positions) > unitDiskIndexThreshold && rc > 0 {
+		if idx, err := spatial.NewIndex(positions, rc); err == nil {
+			idx.Pairs(rc, func(i, j int) {
+				g.adj[i] = append(g.adj[i], j)
+				g.adj[j] = append(g.adj[j], i)
+			})
+			for i := range g.adj {
+				sort.Ints(g.adj[i])
+			}
+			return g
+		}
+	}
+	for i := 0; i < len(positions); i++ {
+		for j := i + 1; j < len(positions); j++ {
+			if positions[i].Dist(positions[j]) <= rc {
+				g.adj[i] = append(g.adj[i], j)
+				g.adj[j] = append(g.adj[j], i)
+			}
+		}
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Pos returns the position of vertex i.
+func (g *Graph) Pos(i int) geom.Vec2 { return g.pos[i] }
+
+// Neighbors returns the adjacency list of vertex i (shared slice; callers
+// must not mutate it).
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree returns the degree of vertex i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m / 2
+}
+
+// Connected reports whether the graph is connected (the empty graph and
+// single vertices count as connected).
+func (g *Graph) Connected() bool { return g.NumComponents() <= 1 }
+
+// NumComponents returns the number of connected components — C(G) in the
+// FRA pseudocode.
+func (g *Graph) NumComponents() int {
+	_, n := g.components()
+	return n
+}
+
+// Components returns, for each vertex, its component label in [0, n), plus
+// the number of components n.
+func (g *Graph) Components() (labels []int, n int) { return g.components() }
+
+func (g *Graph) components() ([]int, int) {
+	labels := make([]int, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	n := 0
+	var queue []int
+	for s := range labels {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = n
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if labels[w] == -1 {
+					labels[w] = n
+					queue = append(queue, w)
+				}
+			}
+		}
+		n++
+	}
+	return labels, n
+}
+
+// BFSFrom returns the hop distance from src to every vertex (-1 when
+// unreachable).
+func (g *Graph) BFSFrom(src int) []int {
+	if src < 0 || src >= g.N() {
+		panic(fmt.Sprintf("graph: BFS source %d out of range [0,%d)", src, g.N()))
+	}
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Edge is a weighted undirected edge.
+type Edge struct {
+	// U and V are the endpoint vertex indices.
+	U, V int
+	// W is the edge weight (Euclidean length for geometric graphs).
+	W float64
+}
+
+// MSTComplete computes the minimum spanning tree of the complete Euclidean
+// graph over the vertex positions using Prim's algorithm ("this foresight
+// step is carried out by prim algorithm", paper Section 4.2). It returns
+// the tree edges; an empty or single-vertex graph yields no edges.
+func (g *Graph) MSTComplete() []Edge {
+	n := g.N()
+	if n < 2 {
+		return nil
+	}
+	inTree := make([]bool, n)
+	bestW := make([]float64, n)
+	bestTo := make([]int, n)
+	for i := range bestW {
+		bestW[i] = math.Inf(1)
+		bestTo[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		bestW[j] = g.pos[0].Dist(g.pos[j])
+		bestTo[j] = 0
+	}
+	edges := make([]Edge, 0, n-1)
+	for len(edges) < n-1 {
+		pick, pw := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && bestW[j] < pw {
+				pick, pw = j, bestW[j]
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		inTree[pick] = true
+		edges = append(edges, Edge{U: bestTo[pick], V: pick, W: pw})
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if d := g.pos[pick].Dist(g.pos[j]); d < bestW[j] {
+					bestW[j] = d
+					bestTo[j] = pick
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// TotalWeight sums the weights of a set of edges.
+func TotalWeight(edges []Edge) float64 {
+	s := 0.0
+	for _, e := range edges {
+		s += e.W
+	}
+	return s
+}
+
+// UnionFind is a disjoint-set structure with union by rank and path
+// compression.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n), rank: make([]int, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, reporting whether a merge happened.
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// NumSets returns the current number of disjoint sets.
+func (u *UnionFind) NumSets() int { return u.sets }
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// componentMSTEdges returns the inter-component edges of an MST over
+// component representatives, where the distance between two components is
+// the minimum pairwise distance between their member positions, along with
+// the closest member pair realizing each chosen edge.
+type componentLink struct {
+	a, b geom.Vec2 // closest points of the two linked components
+	dist float64
+}
+
+func componentLinks(positions []geom.Vec2, labels []int, numComp int) []componentLink {
+	if numComp < 2 {
+		return nil
+	}
+	// Minimum pairwise distance between every component pair, O(n²) — the
+	// node counts here are the paper's k ≤ a few hundred.
+	type pairKey struct{ lo, hi int }
+	best := make(map[pairKey]componentLink)
+	for i := 0; i < len(positions); i++ {
+		for j := i + 1; j < len(positions); j++ {
+			ci, cj := labels[i], labels[j]
+			if ci == cj {
+				continue
+			}
+			if ci > cj {
+				ci, cj = cj, ci
+			}
+			k := pairKey{ci, cj}
+			d := positions[i].Dist(positions[j])
+			if cur, ok := best[k]; !ok || d < cur.dist {
+				best[k] = componentLink{a: positions[i], b: positions[j], dist: d}
+			}
+		}
+	}
+	// Kruskal over component pairs, cheapest links first.
+	type candidate struct {
+		key  pairKey
+		link componentLink
+	}
+	cands := make([]candidate, 0, len(best))
+	for k, l := range best {
+		cands = append(cands, candidate{key: k, link: l})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].link.dist < cands[j].link.dist })
+	uf := NewUnionFind(numComp)
+	var out []componentLink
+	for _, c := range cands {
+		if uf.Union(c.key.lo, c.key.hi) {
+			out = append(out, c.link)
+		}
+	}
+	return out
+}
+
+// RelaysNeeded returns L(G, rc): the minimum number of additional relay
+// nodes, each with communication radius rc, required to join the
+// components of the unit-disk graph over positions into one connected
+// network, when relays are placed evenly along the MST links between the
+// closest component pairs. A link of length d needs ⌈d/rc⌉ − 1 relays.
+func RelaysNeeded(positions []geom.Vec2, rc float64) int {
+	return len(RelayPositions(positions, rc))
+}
+
+// RelayPositions returns P(G, ·): concrete positions for the relays
+// counted by RelaysNeeded, spaced evenly along each MST component link so
+// consecutive hops are ≤ rc.
+func RelayPositions(positions []geom.Vec2, rc float64) []geom.Vec2 {
+	if rc <= 0 || len(positions) == 0 {
+		return nil
+	}
+	g := NewUnitDisk(positions, rc)
+	labels, numComp := g.Components()
+	if numComp <= 1 {
+		return nil
+	}
+	var relays []geom.Vec2
+	for _, link := range componentLinks(positions, labels, numComp) {
+		hops := int(math.Ceil(link.dist / rc))
+		for s := 1; s < hops; s++ {
+			relays = append(relays, link.a.Lerp(link.b, float64(s)/float64(hops)))
+		}
+	}
+	return relays
+}

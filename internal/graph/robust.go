@@ -1,0 +1,170 @@
+package graph
+
+// This file analyzes the robustness of the CPS communication network
+// beyond bare connectivity: articulation points (nodes whose failure
+// splits the network), bridges (links whose loss splits it), and
+// 2-connectivity — the k-connectivity direction the paper cites from
+// Bai et al. ("Complete Optimal Deployment Patterns for Full-Coverage and
+// k-Connectivity Wireless Sensor Networks").
+
+// ArticulationPoints returns the vertices whose removal increases the
+// number of connected components, via Tarjan's low-link DFS. The result is
+// in ascending vertex order.
+func (g *Graph) ArticulationPoints() []int {
+	n := g.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	isArt := make([]bool, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+
+	// Iterative DFS to avoid stack overflows on long relay chains.
+	type frame struct {
+		v, childIdx, childCount int
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		stack = append(stack[:0], frame{v: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.childIdx]
+				f.childIdx++
+				switch {
+				case disc[w] == -1:
+					parent[w] = f.v
+					f.childCount++
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, frame{v: w})
+				case w != parent[f.v]:
+					if disc[w] < low[f.v] {
+						low[f.v] = disc[w]
+					}
+				}
+				continue
+			}
+			// Post-order: propagate low-link to the parent.
+			stack = stack[:len(stack)-1]
+			if p := parent[f.v]; p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if p != root && low[f.v] >= disc[p] {
+					isArt[p] = true
+				}
+			}
+			if f.v == root && f.childCount > 1 {
+				isArt[root] = true
+			}
+		}
+	}
+	var out []int
+	for v, a := range isArt {
+		if a {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Bridges returns the edges whose removal disconnects their endpoints,
+// each reported once with U < V.
+func (g *Graph) Bridges() []Edge {
+	n := g.N()
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+	var out []Edge
+
+	type frame struct{ v, childIdx int }
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		stack = append(stack[:0], frame{v: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.childIdx]
+				f.childIdx++
+				switch {
+				case disc[w] == -1:
+					parent[w] = f.v
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, frame{v: w})
+				case w != parent[f.v]:
+					if disc[w] < low[f.v] {
+						low[f.v] = disc[w]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[f.v]; p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if low[f.v] > disc[p] {
+					u, v := p, f.v
+					if u > v {
+						u, v = v, u
+					}
+					out = append(out, Edge{U: u, V: v, W: g.pos[u].Dist(g.pos[v])})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Biconnected reports whether the graph is 2-vertex-connected: connected,
+// at least three vertices, and free of articulation points. A biconnected
+// CPS network survives any single node failure.
+func (g *Graph) Biconnected() bool {
+	return g.N() >= 3 && g.Connected() && len(g.ArticulationPoints()) == 0
+}
+
+// Robustness summarizes the failure tolerance of the network.
+type Robustness struct {
+	// Connected is plain 1-connectivity (the paper's constraint).
+	Connected bool
+	// Biconnected reports tolerance of any single node failure.
+	Biconnected bool
+	// ArticulationPoints are the single points of failure.
+	ArticulationPoints []int
+	// Bridges are the single links of failure.
+	Bridges []Edge
+}
+
+// AnalyzeRobustness computes the network robustness summary.
+func (g *Graph) AnalyzeRobustness() Robustness {
+	return Robustness{
+		Connected:          g.Connected(),
+		Biconnected:        g.Biconnected(),
+		ArticulationPoints: g.ArticulationPoints(),
+		Bridges:            g.Bridges(),
+	}
+}

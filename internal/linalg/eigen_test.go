@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSym2Known(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, c float64
+		l1, l2  float64
+	}{
+		{"diagonal", 2, 0, 5, 2, 5},
+		{"identity", 1, 0, 1, 1, 1},
+		{"offdiag", 0, 1, 0, -1, 1},
+		{"negative", -3, 0, -1, -3, -1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			l1, l2 := EigenSym2(tc.a, tc.b, tc.c)
+			if math.Abs(l1-tc.l1) > 1e-12 || math.Abs(l2-tc.l2) > 1e-12 {
+				t.Errorf("got (%v,%v), want (%v,%v)", l1, l2, tc.l1, tc.l2)
+			}
+		})
+	}
+}
+
+func TestEigenSym2TraceDetProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		a, b, c = math.Mod(a, 1e3), math.Mod(b, 1e3), math.Mod(c, 1e3)
+		if math.IsNaN(a + b + c) {
+			return true
+		}
+		l1, l2 := EigenSym2(a, b, c)
+		scale := 1 + math.Abs(a) + math.Abs(b) + math.Abs(c)
+		traceOK := math.Abs((l1+l2)-(a+c)) <= 1e-9*scale
+		detOK := math.Abs(l1*l2-(a*c-b*b)) <= 1e-6*scale*scale
+		return traceOK && detOK && l1 <= l2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrincipalCurvaturesPaperFormula(t *testing.T) {
+	// Verbatim check of paper Eqns 12-13.
+	a, b, c := 1.5, 2.0, -0.5
+	d := math.Sqrt((a-c)*(a-c) + b*b)
+	g1, g2 := PrincipalCurvatures(a, b, c)
+	if math.Abs(g1-(a+c-d)) > 1e-15 || math.Abs(g2-(a+c+d)) > 1e-15 {
+		t.Errorf("got (%v,%v)", g1, g2)
+	}
+	if g1 > g2 {
+		t.Error("g1 > g2")
+	}
+}
+
+func TestGaussianCurvatureSigns(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, c float64
+		sign    int // -1 saddle, 0 flat/parabolic, +1 elliptic
+	}{
+		{"bowl", 1, 0, 1, 1},
+		{"dome", -1, 0, -1, 1},
+		{"saddle", 1, 0, -1, -1},
+		{"cylinder", 1, 0, 0, 0},
+		{"flat", 0, 0, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := GaussianCurvature(tc.a, tc.b, tc.c)
+			switch {
+			case tc.sign > 0 && g <= 0:
+				t.Errorf("want positive, got %v", g)
+			case tc.sign < 0 && g >= 0:
+				t.Errorf("want negative, got %v", g)
+			case tc.sign == 0 && math.Abs(g) > 1e-12:
+				t.Errorf("want zero, got %v", g)
+			}
+		})
+	}
+}
+
+func TestEigenVectorsSym2(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		l1, l2 := EigenSym2(a, b, c)
+		v1, v2 := EigenVectorsSym2(a, b, c)
+		checkEigPair(t, a, b, c, l1, v1)
+		checkEigPair(t, a, b, c, l2, v2)
+		// Distinct eigenvalues must give orthogonal eigenvectors.
+		if math.Abs(l1-l2) > 1e-6 {
+			dot := v1[0]*v2[0] + v1[1]*v2[1]
+			if math.Abs(dot) > 1e-6 {
+				t.Fatalf("eigenvectors not orthogonal: dot=%v", dot)
+			}
+		}
+	}
+}
+
+func checkEigPair(t *testing.T, a, b, c, l float64, v [2]float64) {
+	t.Helper()
+	// ‖(A - l·I)·v‖ should vanish.
+	rx := (a-l)*v[0] + b*v[1]
+	ry := b*v[0] + (c-l)*v[1]
+	scale := 1 + math.Abs(a) + math.Abs(b) + math.Abs(c) + math.Abs(l)
+	if math.Hypot(rx, ry) > 1e-9*scale {
+		t.Fatalf("not an eigenvector: residual %v for l=%v", math.Hypot(rx, ry), l)
+	}
+	if math.Abs(math.Hypot(v[0], v[1])-1) > 1e-12 {
+		t.Fatalf("eigenvector not unit length: %v", v)
+	}
+}
+
+func TestEigenVectorsIsotropic(t *testing.T) {
+	v1, v2 := EigenVectorsSym2(2, 0, 2)
+	for _, v := range [][2]float64{v1, v2} {
+		if math.Abs(math.Hypot(v[0], v[1])-1) > 1e-12 {
+			t.Errorf("isotropic eigenvector not unit: %v", v)
+		}
+	}
+}

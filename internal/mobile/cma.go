@@ -1,0 +1,319 @@
+// Package mobile implements the paper's second contribution: the
+// Coordinated Movement Algorithm (CMA, Section 5.3) executed on each
+// mobile CPS node, together with the Local Connectivity Mechanism (LCM,
+// Section 5.2) that keeps the network connected while nodes move.
+//
+// The controller is strictly local, mirroring Table 2: a node knows only
+// what it senses within Rs and what single-hop neighbors within Rc tell
+// it. Per time slot it (1) fits the Gaussian curvature of the local
+// surface patch, (2) exchanges position + curvature with neighbors,
+// (3) combines the three virtual forces
+//
+//	F1 = d(ni, pc)·G(pc)        attraction to the highest-curvature
+//	                            position sensed in range (Eqn 14)
+//	F2 = Σ d(ni, nj)·G(nj)      curvature-weighted attraction to
+//	                            neighbors — the balance pivot (Eqn 15)
+//	Fr = Σ (Rc − d(ni, nj))     pairwise repulsion for distance
+//	                            control (Eqn 17)
+//
+// into Fs = F1 + F2 + β·Fr (Eqn 18) and moves along Fs, velocity-limited.
+package mobile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/curvature"
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+// ErrBadConfig is returned for invalid controller parameters.
+var ErrBadConfig = errors.New("mobile: invalid config")
+
+// Config holds the per-node CMA parameters.
+type Config struct {
+	// Region is the region of interest A; nodes never leave it.
+	Region geom.Rect
+	// Rc is the communication radius.
+	Rc float64
+	// Rs is the sensing radius.
+	Rs float64
+	// Beta is the repulsion weight β of Eqn 18. The paper's evaluation
+	// uses β = 2.
+	Beta float64
+	// MaxStep is the maximum distance moved per time slot (v·Δt; the
+	// paper's v = 1 m/min with one-minute slots gives 1).
+	MaxStep float64
+	// StopEps is the force magnitude below which the node stops (the
+	// paper's Fs == 0 test, with numeric tolerance).
+	StopEps float64
+	// PeakFitM is the number of nearest samples used when estimating the
+	// curvature at candidate peak positions; 0 defaults to 12.
+	PeakFitM int
+	// CurvGain scales the curvature attractions F1 and F2 relative to the
+	// repulsion Fr. The controller normalizes curvature weights into
+	// [0, 1] to stay scale-free across environments, which makes the
+	// attractions stronger than the paper's raw (physically tiny) G
+	// values; the gain restores the paper's regime where curvature
+	// perturbs the distance-controlled lattice rather than collapsing it.
+	// 0 defaults to 0.1.
+	CurvGain float64
+	// RepulseFrac sets the repulsion range as a fraction of Rc: neighbors
+	// repel while closer than RepulseFrac·Rc. The paper's Eqn 17 uses
+	// exactly Rc (fraction 1), which is the default. Values below 1 give
+	// the lattice an equilibrium spacing strictly inside communication
+	// range, which quiets the perimeter tug-of-war between repulsion and
+	// the LCM: per-slot displacement drops several-fold (closer to the
+	// paper's "nodes barely move") at the cost of a few percent in
+	// mid-run δ — the knob trades tracking for quiescence (see
+	// BenchmarkExtRepulseGuardBand). 0 defaults to 1.
+	RepulseFrac float64
+}
+
+// DefaultConfig returns the paper's Section 6 mobile settings: Rc = 10 m,
+// Rs = 5 m, β = 2, v = 1 m/min on the 100×100 m² region.
+func DefaultConfig() Config {
+	return Config{
+		Region:      geom.Square(100),
+		Rc:          10,
+		Rs:          5,
+		Beta:        2,
+		MaxStep:     1,
+		StopEps:     0.8,
+		PeakFitM:    12,
+		CurvGain:    0.15,
+		RepulseFrac: 1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Rc <= 0:
+		return fmt.Errorf("%w: Rc=%v", ErrBadConfig, c.Rc)
+	case c.Rs <= 0:
+		return fmt.Errorf("%w: Rs=%v", ErrBadConfig, c.Rs)
+	case c.MaxStep <= 0:
+		return fmt.Errorf("%w: MaxStep=%v", ErrBadConfig, c.MaxStep)
+	case c.Beta < 0:
+		return fmt.Errorf("%w: Beta=%v", ErrBadConfig, c.Beta)
+	case c.Region.Area() <= 0:
+		return fmt.Errorf("%w: empty region", ErrBadConfig)
+	}
+	return nil
+}
+
+// NeighborInfo is what a node learns from one single-hop neighbor's
+// broadcast: its ID, position, and Gaussian curvature estimate — exactly
+// the Tx/Rx payload of Table 2.
+type NeighborInfo struct {
+	// ID identifies the neighbor.
+	ID int
+	// Pos is the neighbor's reported position.
+	Pos geom.Vec2
+	// G is the neighbor's reported Gaussian curvature estimate.
+	G float64
+}
+
+// Decision is a node's plan for the current slot.
+type Decision struct {
+	// G is the node's own curvature estimate, to be broadcast.
+	G float64
+	// F1, F2, Fr, Fs are the virtual force components and resultant.
+	F1, F2, Fr, Fs geom.Vec2
+	// Peak is pc — the highest-curvature position sensed in range.
+	Peak geom.Vec2
+	// Target is nd — the announced destination when moving.
+	Target geom.Vec2
+	// Move reports whether the node moves this slot (|Fs| > StopEps).
+	Move bool
+}
+
+// Controller is the per-node CMA state machine. Each node owns one; it is
+// not safe for concurrent use by multiple goroutines.
+type Controller struct {
+	cfg Config
+	id  int
+	// maxG is the largest curvature magnitude observed so far (own
+	// estimates and neighbor broadcasts); it normalizes curvature weights
+	// so the force balance is scale-free across environments. Purely
+	// local information.
+	maxG float64
+	// parked reports that the node has reached its virtual-force balance
+	// and stopped. A parked node resumes only when the force grows past
+	// RestartFactor·StopEps — hysteresis that keeps small residual forces
+	// (boundary flicker, LCM nudges) from waking the whole swarm and
+	// lets it genuinely converge, as in the paper's Fig. 10.
+	parked bool
+}
+
+// restartFactor is the hysteresis ratio between the wake-up and stop
+// thresholds of the movement deadband.
+const restartFactor = 2
+
+// NewController returns a controller for node id.
+func NewController(id int, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PeakFitM == 0 {
+		cfg.PeakFitM = 12
+	}
+	if cfg.StopEps <= 0 {
+		cfg.StopEps = 0.8
+	}
+	if cfg.CurvGain == 0 {
+		cfg.CurvGain = 0.15
+	}
+	if cfg.RepulseFrac <= 0 || cfg.RepulseFrac > 1 {
+		cfg.RepulseFrac = 1
+	}
+	return &Controller{cfg: cfg, id: id}, nil
+}
+
+// ID returns the node ID the controller was built for.
+func (c *Controller) ID() int { return c.id }
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Plan executes one CMA slot (Table 2 lines 2–18): estimate curvature from
+// the sensed samples, evaluate the virtual forces against the neighbor
+// reports, and decide whether and where to move.
+func (c *Controller) Plan(pos geom.Vec2, samples []field.Sample, neighbors []NeighborInfo) (Decision, error) {
+	var d Decision
+	est, err := curvature.Fit(pos, samples, curvature.QR)
+	if err != nil {
+		if !errors.Is(err, curvature.ErrTooFewSamples) {
+			return d, fmt.Errorf("mobile: node %d curvature: %w", c.id, err)
+		}
+		est = curvature.Estimate{} // blind node: zero curvature
+	}
+	d.G = est.Gaussian
+	c.observeG(est.Gaussian)
+	for _, nb := range neighbors {
+		c.observeG(nb.G)
+	}
+
+	// F1: attraction to the highest-curvature position in sensing range
+	// (Eqn 14). Candidate positions are the sensed sample positions; the
+	// curvature at each is fitted from its nearest sampled neighbors.
+	peak, peakG := c.findPeak(pos, samples)
+	d.Peak = peak
+	d.F1 = peak.Sub(pos).Scale(c.cfg.CurvGain * c.weight(peakG))
+
+	// F2: curvature-weighted attraction toward neighbors (Eqn 15).
+	for _, nb := range neighbors {
+		d.F2 = d.F2.Add(nb.Pos.Sub(pos).Scale(c.cfg.CurvGain * c.weight(nb.G)))
+	}
+
+	// Fr: repulsion from each neighbor, magnitude (RepulseFrac·Rc) − d
+	// (Eqn 17 with the guard band; see Config.RepulseFrac).
+	repulseRange := c.cfg.RepulseFrac * c.cfg.Rc
+	for _, nb := range neighbors {
+		dist := pos.Dist(nb.Pos)
+		if dist >= repulseRange {
+			continue
+		}
+		away := pos.Sub(nb.Pos)
+		if dist == 0 {
+			// Coincident nodes: deterministic symmetric break by ID.
+			angle := float64(c.id) * 2.399963 // golden angle
+			away = geom.V2(math.Cos(angle), math.Sin(angle))
+		} else {
+			away = away.Scale(1 / dist)
+		}
+		d.Fr = d.Fr.Add(away.Scale(repulseRange - dist))
+	}
+
+	d.Fs = d.F1.Add(d.F2).Add(d.Fr.Scale(c.cfg.Beta))
+	threshold := c.cfg.StopEps
+	if c.parked {
+		threshold = restartFactor * c.cfg.StopEps
+	}
+	if d.Fs.Len() <= threshold {
+		c.parked = true
+		d.Move = false
+		d.Target = pos
+		return d, nil
+	}
+	c.parked = false
+	d.Move = true
+	// nd: Rs distance along Fs (Table 2 line 16), clamped to the region;
+	// actual per-slot displacement is additionally velocity-limited by the
+	// caller via Step.
+	d.Target = c.cfg.Region.ClampPoint(pos.Add(d.Fs.Normalize().Scale(c.cfg.Rs)))
+	return d, nil
+}
+
+// Step returns the node's next position when executing decision d from
+// pos. The step length is force-proportional — min(MaxStep, |Fs|) — so the
+// node slows as it approaches the virtual-force balance instead of
+// overshooting at full velocity; MaxStep remains the hard velocity limit
+// (v·Δt).
+func (c *Controller) Step(pos geom.Vec2, d Decision) geom.Vec2 {
+	if !d.Move {
+		return pos
+	}
+	dir := d.Target.Sub(pos)
+	if dir.Len() == 0 {
+		return pos
+	}
+	// Smooth deadband: only the force in excess of the stop threshold
+	// produces motion, so step lengths decay to zero as a node approaches
+	// its virtual-force balance and the swarm quiesces (the paper's
+	// convergence around 10:30 in Fig. 10) instead of hunting around the
+	// balance point at full speed.
+	stepLen := math.Min(c.cfg.MaxStep, d.Fs.Len()-c.cfg.StopEps)
+	if stepLen <= 0 {
+		return pos
+	}
+	return c.cfg.Region.ClampPoint(pos.Add(dir.Normalize().Scale(stepLen)))
+}
+
+// observeG folds a curvature observation into the running normalizer.
+func (c *Controller) observeG(g float64) {
+	if a := math.Abs(g); a > c.maxG {
+		c.maxG = a
+	}
+}
+
+// weight converts a raw curvature into a normalized force weight in
+// [0, 1]. Normalizing by the largest curvature magnitude seen keeps the
+// attraction and repulsion terms comparable regardless of the physical
+// units of the sensed quantity.
+func (c *Controller) weight(g float64) float64 {
+	if c.maxG == 0 {
+		return 0
+	}
+	return math.Abs(g) / c.maxG
+}
+
+// findPeak returns the sensed position with the highest curvature
+// magnitude and that curvature. Candidates are restricted to the inner
+// part of the sensing disc: fits centered near the disc edge see only
+// one-sided neighborhoods and produce wildly unstable curvature
+// estimates, which would make pc — and hence F1 — jitter between slots.
+// With no samples it returns pos and 0.
+func (c *Controller) findPeak(pos geom.Vec2, samples []field.Sample) (geom.Vec2, float64) {
+	if len(samples) < 3 {
+		return pos, 0
+	}
+	inner := 0.7 * c.cfg.Rs
+	bestPos, bestG := pos, 0.0
+	for _, s := range samples {
+		if s.Pos.Dist(pos) > inner {
+			continue
+		}
+		est, err := curvature.FitNearest(s.Pos, samples, c.cfg.PeakFitM, curvature.QR)
+		if err != nil {
+			continue
+		}
+		if g := est.AbsGaussian(); g > bestG {
+			bestPos, bestG = s.Pos, g
+		}
+	}
+	return bestPos, bestG
+}

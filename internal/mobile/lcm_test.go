@@ -1,0 +1,103 @@
+package mobile
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestLCMScenarioFig4(t *testing.T) {
+	// Reconstruction of the paper's Fig. 4: n1 moves; n3 keeps a direct
+	// link, n4 is bridged through n3, n5 is stranded and must follow, n2
+	// was never a neighbor.
+	const rc = 10.0
+	n3 := geom.V2(55, 53)
+	n4 := geom.V2(58, 58)
+	n5 := geom.V2(42, 44)
+	target := geom.V2(52, 56) // n1's destination
+
+	ann := MoveAnnouncement{
+		Mover:  1,
+		Target: target,
+		Neighbors: []NeighborInfo{
+			{ID: 3, Pos: n3},
+			{ID: 4, Pos: n4},
+			{ID: 5, Pos: n5},
+		},
+	}
+
+	// n3: still within rc of the destination — stays.
+	if _, follow := LCMFollow(n3, ann, 3, rc); follow {
+		t.Error("n3 should keep its direct link and stay")
+	}
+	// n4: destination is 8.2 away (within rc) — stays via direct link.
+	if _, follow := LCMFollow(n4, ann, 4, rc); follow {
+		t.Error("n4 should stay")
+	}
+	// n5: destination is 15.6 away, and no other neighbor bridges — must
+	// follow to exactly rc from the destination.
+	got, follow := LCMFollow(n5, ann, 5, rc)
+	if !follow {
+		t.Fatal("n5 should follow the mover")
+	}
+	if d := got.Dist(target); d > rc || d < rc*(1-1e-5) {
+		t.Errorf("follow distance = %v, want just inside rc=%v", d, rc)
+	}
+}
+
+func TestLCMBridgeThroughThirdNode(t *testing.T) {
+	const rc = 10.0
+	target := geom.V2(70, 50)
+	me := geom.V2(55, 50)     // 15 from target: direct link broken
+	bridge := geom.V2(62, 50) // 7 from me, 8 from target: bridges
+	ann := MoveAnnouncement{
+		Mover:  1,
+		Target: target,
+		Neighbors: []NeighborInfo{
+			{ID: 2, Pos: me},
+			{ID: 3, Pos: bridge},
+		},
+	}
+	if _, follow := LCMFollow(me, ann, 2, rc); follow {
+		t.Error("bridged node should stay in place")
+	}
+	// Without the bridge the same node must follow.
+	ann.Neighbors = []NeighborInfo{{ID: 2, Pos: me}}
+	if _, follow := LCMFollow(me, ann, 2, rc); !follow {
+		t.Error("unbridged node should follow")
+	}
+}
+
+func TestLCMIgnoresOwnAnnouncement(t *testing.T) {
+	ann := MoveAnnouncement{Mover: 2, Target: geom.V2(99, 99)}
+	if _, follow := LCMFollow(geom.V2(0, 0), ann, 2, 10); follow {
+		t.Error("node followed its own announcement")
+	}
+}
+
+func TestLCMBridgeMustReachBothEnds(t *testing.T) {
+	// A neighbor close to me but far from the destination is not a bridge.
+	const rc = 10.0
+	target := geom.V2(80, 50)
+	me := geom.V2(55, 50)
+	nearMeOnly := geom.V2(50, 50)
+	ann := MoveAnnouncement{
+		Mover:  1,
+		Target: target,
+		Neighbors: []NeighborInfo{
+			{ID: 2, Pos: me},
+			{ID: 3, Pos: nearMeOnly},
+		},
+	}
+	if _, follow := LCMFollow(me, ann, 2, rc); !follow {
+		t.Error("half-bridge accepted: neighbor cannot reach destination")
+	}
+}
+
+func TestLCMCoincidentWithTarget(t *testing.T) {
+	// Degenerate: node already sits exactly at the announced target.
+	ann := MoveAnnouncement{Mover: 1, Target: geom.V2(50, 50)}
+	if _, follow := LCMFollow(geom.V2(50, 50), ann, 2, 10); follow {
+		t.Error("coincident node should not follow")
+	}
+}

@@ -1,0 +1,365 @@
+// Package sim is the deterministic time-stepped simulator for the OSTD
+// experiments: a world of mobile CPS nodes running the CMA controller over
+// a time-varying field, with the paper's sensing (Rs), communication (Rc)
+// and velocity (v) models, per-slot metrics and trace recording.
+//
+// Each slot reproduces the message structure of Table 2 against a
+// consistent snapshot: nodes sense and fit curvature, exchange
+// (position, G) with single-hop neighbors, compute virtual forces, move
+// under the velocity limit, and apply the Local Connectivity Mechanism to
+// announcements from moving neighbors.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mobile"
+	"repro/internal/surface"
+)
+
+// ErrNoNodes is returned when a world is created without nodes.
+var ErrNoNodes = errors.New("sim: no nodes")
+
+// Options configures a world.
+type Options struct {
+	// Config is the per-node CMA configuration.
+	Config mobile.Config
+	// NoiseStd is the sensing noise standard deviation.
+	NoiseStd float64
+	// Seed drives the sensing noise.
+	Seed int64
+	// SlotMinutes is the duration of one time slot; 0 defaults to 1 (the
+	// paper's per-minute dynamics).
+	SlotMinutes float64
+	// Trace configures movement-path sampling (the paper's future-work
+	// extension; see TraceOptions).
+	Trace TraceOptions
+}
+
+// DefaultOptions returns the paper's Section 6 OSTD settings.
+func DefaultOptions() Options {
+	return Options{Config: mobile.DefaultConfig(), SlotMinutes: 1}
+}
+
+// StepStats summarizes one simulation slot.
+type StepStats struct {
+	// T is the world time in minutes after the step.
+	T float64
+	// Moved is the number of nodes that moved under CMA this slot.
+	Moved int
+	// Followed is the number of LCM follow moves this slot.
+	Followed int
+	// MeanForce is the mean |Fs| over all nodes.
+	MeanForce float64
+	// MeanDisplacement is the mean distance moved this slot.
+	MeanDisplacement float64
+	// EnergySpent is the total movement energy this slot under a
+	// unit-per-meter locomotion model — the quantity behind the paper's
+	// "energy is sufficient for the movement" assumption.
+	EnergySpent float64
+}
+
+// World is a deterministic simulation of mobile CPS nodes.
+type World struct {
+	dyn     field.DynField
+	opts    Options
+	ctrl    []*mobile.Controller
+	pos     []geom.Vec2
+	sampler *field.Sampler
+	trace   *traceStore
+	t       float64
+	energy  []float64 // cumulative movement energy per node
+}
+
+// NewWorld creates a world with nodes at the given initial positions.
+func NewWorld(dyn field.DynField, positions []geom.Vec2, opts Options) (*World, error) {
+	if len(positions) == 0 {
+		return nil, ErrNoNodes
+	}
+	if opts.SlotMinutes <= 0 {
+		opts.SlotMinutes = 1
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	w := &World{
+		dyn:     dyn,
+		opts:    opts,
+		pos:     append([]geom.Vec2(nil), positions...),
+		sampler: field.NewSampler(opts.NoiseStd, opts.Seed),
+	}
+	if opts.Trace.Enabled {
+		w.trace = newTraceStore(opts.Trace)
+	}
+	w.energy = make([]float64, len(w.pos))
+	region := dyn.Bounds()
+	for i := range w.pos {
+		w.pos[i] = region.ClampPoint(w.pos[i])
+		c, err := mobile.NewController(i, opts.Config)
+		if err != nil {
+			return nil, fmt.Errorf("sim: controller %d: %w", i, err)
+		}
+		w.ctrl = append(w.ctrl, c)
+	}
+	return w, nil
+}
+
+// N returns the number of nodes.
+func (w *World) N() int { return len(w.pos) }
+
+// Time returns the current world time in minutes.
+func (w *World) Time() float64 { return w.t }
+
+// Positions returns a copy of the current node positions.
+func (w *World) Positions() []geom.Vec2 {
+	return append([]geom.Vec2(nil), w.pos...)
+}
+
+// Connected reports whether the node network is connected at Rc.
+func (w *World) Connected() bool {
+	return graph.NewUnitDisk(w.pos, w.opts.Config.Rc).Connected()
+}
+
+// Step advances the world by one slot.
+func (w *World) Step() (StepStats, error) {
+	rc := w.opts.Config.Rc
+	g := graph.NewUnitDisk(w.pos, rc)
+
+	// Phase 1: sense and fit curvature (Table 2 lines 2-3).
+	samples := make([][]field.Sample, w.N())
+	curv := make([]float64, w.N())
+	for i := range w.pos {
+		samples[i] = w.sampler.DiscTime(w.dyn, w.pos[i], w.opts.Config.Rs, w.t)
+	}
+
+	// Phase 2: neighbor exchange (lines 4-5). Curvature values come from
+	// each node's Plan below; to keep the exchange causal we first compute
+	// each node's own estimate via a planning dry run on an empty neighbor
+	// set is wasteful — instead Plan reports G, so run Plan in two passes:
+	// pass A with neighbor positions but zero G to obtain own G, pass B
+	// with true neighbor G values. Pass A's force outputs are discarded.
+	for i := range w.pos {
+		d, err := w.ctrl[i].Plan(w.pos[i], samples[i], nil)
+		if err != nil {
+			return StepStats{}, fmt.Errorf("sim: node %d estimate: %w", i, err)
+		}
+		curv[i] = d.G
+	}
+	neighborInfos := make([][]mobile.NeighborInfo, w.N())
+	for i := range w.pos {
+		for _, j := range g.Neighbors(i) {
+			neighborInfos[i] = append(neighborInfos[i], mobile.NeighborInfo{
+				ID: j, Pos: w.pos[j], G: curv[j],
+			})
+		}
+		sort.Slice(neighborInfos[i], func(a, b int) bool {
+			return neighborInfos[i][a].ID < neighborInfos[i][b].ID
+		})
+	}
+
+	// Phase 3: force computation and movement decision (lines 6-18).
+	decisions := make([]mobile.Decision, w.N())
+	var stats StepStats
+	for i := range w.pos {
+		d, err := w.ctrl[i].Plan(w.pos[i], samples[i], neighborInfos[i])
+		if err != nil {
+			return StepStats{}, fmt.Errorf("sim: node %d plan: %w", i, err)
+		}
+		decisions[i] = d
+		stats.MeanForce += d.Fs.Len()
+	}
+	stats.MeanForce /= float64(w.N())
+
+	// Phase 4: apply CMA moves under the velocity limit.
+	next := append([]geom.Vec2(nil), w.pos...)
+	for i, d := range decisions {
+		if !d.Move {
+			continue
+		}
+		next[i] = w.ctrl[i].Step(w.pos[i], d)
+		stats.Moved++
+	}
+
+	// Phase 5: LCM (lines 19-21): resolve the connectivity constraints of
+	// the announced moves (see ResolveLCM).
+	resolved, follows := ResolveLCM(w.dyn.Bounds(), rc, w.pos, next, neighborInfos)
+	next = resolved
+	stats.Followed = follows
+	if follows < 0 { // projection failed: slot reverted
+		stats.Followed = 0
+		stats.Moved = 0
+	}
+
+	for i := range w.pos {
+		moved := w.pos[i].Dist(next[i])
+		stats.MeanDisplacement += moved
+		stats.EnergySpent += moved
+		w.energy[i] += moved
+	}
+	stats.MeanDisplacement /= float64(w.N())
+
+	if w.trace != nil {
+		for i := range w.pos {
+			w.trace.recordPath(w.dyn, w.pos[i], next[i], w.t)
+		}
+		w.trace.prune(w.t + w.opts.SlotMinutes)
+	}
+
+	w.pos = next
+	w.t += w.opts.SlotMinutes
+	stats.T = w.t
+	return stats, nil
+}
+
+// ResolveLCM applies the Local Connectivity Mechanism to a set of
+// tentative next positions. Every edge of the pre-move unit-disk graph
+// (described by neighborInfos, indexed by node) must either survive at
+// radius rc or be replaced by a current two-hop path through a former
+// common neighbor (the paper's Fig. 4: n4 may stay because n3 bridges; n5
+// must move with n1). Over-stretched critical links are resolved by
+// symmetric constraint projection — each pulls both endpoints toward each
+// other by half the excess, the cooperative reading of the paper's
+// "moves with" rule that, unlike a one-sided drag, converges when a node
+// has several binding links. The pre-move positions oldPos are always
+// feasible, so when projection fails to converge the movement is reverted
+// wholesale and follows is returned as -1; otherwise follows counts the
+// projection operations performed.
+func ResolveLCM(region geom.Rect, rc float64, oldPos, next []geom.Vec2, neighborInfos [][]mobile.NeighborInfo) (resolved []geom.Vec2, follows int) {
+	resolved = append([]geom.Vec2(nil), next...)
+	var oldEdges [][2]int
+	for i := range neighborInfos {
+		for _, nb := range neighborInfos[i] {
+			if nb.ID > i {
+				oldEdges = append(oldEdges, [2]int{i, nb.ID})
+			}
+		}
+	}
+	limit := rc * (1 - 1e-4) // project slightly inside Rc for FP headroom
+	bridged := func(i, j int) bool {
+		for _, nb := range neighborInfos[i] {
+			b := nb.ID
+			if b == j {
+				continue
+			}
+			if resolved[b].Dist(resolved[i]) <= rc && resolved[b].Dist(resolved[j]) <= rc {
+				// b must be a former neighbor of both endpoints for the
+				// LCM exchange to reach it.
+				for _, nb2 := range neighborInfos[j] {
+					if nb2.ID == b {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	const maxRounds = 200
+	converged := false
+	for round := 0; round < maxRounds; round++ {
+		violated := false
+		for _, e := range oldEdges {
+			i, j := e[0], e[1]
+			d := resolved[i].Dist(resolved[j])
+			if d <= rc || bridged(i, j) {
+				continue
+			}
+			violated = true
+			corr := (d - limit) / 2
+			dir := resolved[j].Sub(resolved[i]).Scale(1 / d)
+			resolved[i] = region.ClampPoint(resolved[i].Add(dir.Scale(corr)))
+			resolved[j] = region.ClampPoint(resolved[j].Sub(dir.Scale(corr)))
+			follows++
+		}
+		if !violated {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		// Final check: accept only if every critical old edge holds.
+		converged = true
+		for _, e := range oldEdges {
+			if resolved[e[0]].Dist(resolved[e[1]]) > rc && !bridged(e[0], e[1]) {
+				converged = false
+				break
+			}
+		}
+		if !converged {
+			return append([]geom.Vec2(nil), oldPos...), -1
+		}
+	}
+	return resolved, follows
+}
+
+// NodeEnergy returns the cumulative movement energy (meters traveled)
+// of node i since the world started.
+func (w *World) NodeEnergy(i int) float64 { return w.energy[i] }
+
+// TotalEnergy returns the cumulative movement energy of the whole swarm.
+func (w *World) TotalEnergy() float64 {
+	s := 0.0
+	for _, e := range w.energy {
+		s += e
+	}
+	return s
+}
+
+// Delta computes the paper's δ for the current node positions against the
+// current field slice, reconstructing by Delaunay interpolation on an
+// n-division lattice.
+func (w *World) Delta(n int) (float64, error) {
+	slice := field.Slice(w.dyn, w.t)
+	samples := make([]field.Sample, 0, w.N())
+	for _, p := range w.pos {
+		samples = append(samples, field.Sample{Pos: p, Z: slice.Eval(p)})
+	}
+	d, err := surface.DeltaSamples(slice, samples, n)
+	if err != nil {
+		return 0, fmt.Errorf("sim: delta: %w", err)
+	}
+	return d, nil
+}
+
+// Snapshot is the world state after one step, as recorded by Run.
+type Snapshot struct {
+	// Stats are the step statistics.
+	Stats StepStats
+	// Positions are the node positions after the step.
+	Positions []geom.Vec2
+	// Delta is δ after the step (computed when Run's deltaN > 0).
+	Delta float64
+	// Connected reports network connectivity after the step.
+	Connected bool
+}
+
+// Run advances the world by steps slots, recording a snapshot after each.
+// When deltaN > 0, δ is evaluated on a deltaN-division lattice each slot
+// (the expensive part); pass 0 to skip it.
+func (w *World) Run(steps, deltaN int) ([]Snapshot, error) {
+	out := make([]Snapshot, 0, steps)
+	for s := 0; s < steps; s++ {
+		st, err := w.Step()
+		if err != nil {
+			return out, err
+		}
+		snap := Snapshot{
+			Stats:     st,
+			Positions: w.Positions(),
+			Connected: w.Connected(),
+		}
+		if deltaN > 0 {
+			d, err := w.Delta(deltaN)
+			if err != nil {
+				return out, err
+			}
+			snap.Delta = d
+		}
+		out = append(out, snap)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+// Package spatial provides a uniform-grid spatial hash for fixed-radius
+// neighbor queries on the region plane. Building the unit-disk
+// communication graph is quadratic in the node count when done naively;
+// the paper's evaluations stay at k ≤ 200 where that is fine, but the
+// library also targets larger swarms, where bucketing by cells of the
+// query radius makes graph construction and sensing-range queries
+// near-linear.
+package spatial
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Index is a uniform-grid spatial hash over a fixed point set. Build one
+// with NewIndex; it is immutable afterwards and safe for concurrent reads.
+type Index struct {
+	pts      []geom.Vec2
+	cell     float64
+	minX     float64
+	minY     float64
+	cols     int
+	rows     int
+	buckets  [][]int32
+	numEmpty int
+}
+
+// NewIndex builds an index over pts with the given cell size (typically
+// the dominant query radius). cellSize must be positive.
+func NewIndex(pts []geom.Vec2, cellSize float64) (*Index, error) {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		return nil, fmt.Errorf("spatial: invalid cell size %v", cellSize)
+	}
+	idx := &Index{
+		pts:  append([]geom.Vec2(nil), pts...),
+		cell: cellSize,
+		cols: 1,
+		rows: 1,
+	}
+	if len(pts) > 0 {
+		bb, _ := geom.BoundingBox(pts)
+		idx.minX, idx.minY = bb.Min.X, bb.Min.Y
+		idx.cols = int(bb.Width()/cellSize) + 1
+		idx.rows = int(bb.Height()/cellSize) + 1
+	}
+	idx.buckets = make([][]int32, idx.cols*idx.rows)
+	for i, p := range idx.pts {
+		c := idx.cellOf(p)
+		idx.buckets[c] = append(idx.buckets[c], int32(i))
+	}
+	for _, b := range idx.buckets {
+		if len(b) == 0 {
+			idx.numEmpty++
+		}
+	}
+	return idx, nil
+}
+
+// N returns the number of indexed points.
+func (x *Index) N() int { return len(x.pts) }
+
+// Point returns indexed point i.
+func (x *Index) Point(i int) geom.Vec2 { return x.pts[i] }
+
+func (x *Index) cellOf(p geom.Vec2) int {
+	ci := clampInt(int((p.X-x.minX)/x.cell), 0, x.cols-1)
+	cj := clampInt(int((p.Y-x.minY)/x.cell), 0, x.rows-1)
+	return cj*x.cols + ci
+}
+
+// Within appends to dst the indices of all points within radius r of q
+// (inclusive), in ascending index order, and returns the extended slice.
+// Passing dst[:0] avoids allocation across calls.
+func (x *Index) Within(dst []int, q geom.Vec2, r float64) []int {
+	if r < 0 || len(x.pts) == 0 {
+		return dst
+	}
+	r2 := r * r
+	loI := clampInt(int((q.X-r-x.minX)/x.cell), 0, x.cols-1)
+	hiI := clampInt(int((q.X+r-x.minX)/x.cell), 0, x.cols-1)
+	loJ := clampInt(int((q.Y-r-x.minY)/x.cell), 0, x.rows-1)
+	hiJ := clampInt(int((q.Y+r-x.minY)/x.cell), 0, x.rows-1)
+	start := len(dst)
+	for cj := loJ; cj <= hiJ; cj++ {
+		for ci := loI; ci <= hiI; ci++ {
+			for _, i := range x.buckets[cj*x.cols+ci] {
+				if x.pts[i].Dist2(q) <= r2 {
+					dst = append(dst, int(i))
+				}
+			}
+		}
+	}
+	insertionSortInts(dst[start:])
+	return dst
+}
+
+// Pairs calls fn for every unordered pair (i, j), i < j, of indexed points
+// at distance ≤ r. This is the unit-disk-graph edge enumeration.
+func (x *Index) Pairs(r float64, fn func(i, j int)) {
+	if r < 0 {
+		return
+	}
+	r2 := r * r
+	span := int(r/x.cell) + 1
+	for cj := 0; cj < x.rows; cj++ {
+		for ci := 0; ci < x.cols; ci++ {
+			home := x.buckets[cj*x.cols+ci]
+			if len(home) == 0 {
+				continue
+			}
+			// Within the home bucket.
+			for a := 0; a < len(home); a++ {
+				for b := a + 1; b < len(home); b++ {
+					i, j := int(home[a]), int(home[b])
+					if x.pts[i].Dist2(x.pts[j]) <= r2 {
+						fn(min(i, j), max(i, j))
+					}
+				}
+			}
+			// Against strictly "later" buckets only, so each bucket pair is
+			// visited once.
+			for dj := 0; dj <= span; dj++ {
+				diLo := -span
+				if dj == 0 {
+					diLo = 1
+				}
+				for di := diLo; di <= span; di++ {
+					nj, ni := cj+dj, ci+di
+					if ni < 0 || ni >= x.cols || nj >= x.rows {
+						continue
+					}
+					other := x.buckets[nj*x.cols+ni]
+					for _, a := range home {
+						for _, b := range other {
+							i, j := int(a), int(b)
+							if x.pts[i].Dist2(x.pts[j]) <= r2 {
+								fn(min(i, j), max(i, j))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Nearest returns the index of the point nearest to q, or -1 for an empty
+// index. It expands the search ring until a candidate is found.
+func (x *Index) Nearest(q geom.Vec2) int {
+	if len(x.pts) == 0 {
+		return -1
+	}
+	// Ring search: try increasing radii; fall back to a full scan for the
+	// pathological case of a far-away query.
+	r := x.cell
+	maxDim := float64(max(x.cols, x.rows)) * x.cell
+	var buf []int
+	for ; r <= 2*maxDim; r *= 2 {
+		buf = x.Within(buf[:0], q, r)
+		if len(buf) > 0 {
+			best := buf[0]
+			for _, i := range buf[1:] {
+				if x.pts[i].Dist2(q) < x.pts[best].Dist2(q) {
+					best = i
+				}
+			}
+			return best
+		}
+	}
+	best := 0
+	for i := 1; i < len(x.pts); i++ {
+		if x.pts[i].Dist2(q) < x.pts[best].Dist2(q) {
+			best = i
+		}
+	}
+	return best
+}
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

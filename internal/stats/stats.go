@@ -1,0 +1,196 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: moments, quantiles, simple linear regression (for δ-versus-k
+// trend slopes and convergence-rate fits) and correlation.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned for operations on empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrMismatch is returned when paired samples differ in length.
+var ErrMismatch = errors.New("stats: sample length mismatch")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator).
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("%w: need at least 2 values", ErrEmpty)
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the extreme values.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) by linear interpolation
+// between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// LinearFit is the least-squares line y = Slope·x + Intercept.
+type LinearFit struct {
+	// Slope and Intercept define the fitted line.
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// FitLine fits y ≈ a·x + b by ordinary least squares.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("%w: %d vs %d", ErrMismatch, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("%w: need at least 2 points", ErrEmpty)
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: degenerate fit: all x equal")
+	}
+	fit := LinearFit{Slope: sxy / sxx}
+	fit.Intercept = my - fit.Slope*mx
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // constant y exactly reproduced
+	}
+	return fit, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrMismatch, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("%w: need at least 2 points", ErrEmpty)
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: zero-variance sample")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ExpDecayFit fits y ≈ y∞ + (y0−y∞)·e^(−x/τ) for a convergence series by
+// log-linear regression on (y − y∞), with y∞ estimated as the minimum of
+// the tail. It returns the decay constant τ; series that do not decay
+// produce an error.
+func ExpDecayFit(xs, ys []float64) (tau float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrMismatch, len(xs), len(ys))
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("%w: need at least 3 points", ErrEmpty)
+	}
+	tail := ys[len(ys)*2/3:]
+	floor, _, err := MinMax(tail)
+	if err != nil {
+		return 0, err
+	}
+	var lx, ly []float64
+	for i := range xs {
+		d := ys[i] - floor
+		if d > 1e-12 {
+			lx = append(lx, xs[i])
+			ly = append(ly, math.Log(d))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, fmt.Errorf("stats: series already at its floor")
+	}
+	fit, err := FitLine(lx, ly)
+	if err != nil {
+		return 0, err
+	}
+	if fit.Slope >= 0 {
+		return 0, fmt.Errorf("stats: series does not decay (slope %v)", fit.Slope)
+	}
+	return -1 / fit.Slope, nil
+}

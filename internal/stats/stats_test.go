@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of squared deviations = 32, n-1 = 7.
+	if math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v", v)
+	}
+	sd, err := StdDev([]float64{1, 1, 1})
+	if err != nil || sd != 0 {
+		t.Errorf("StdDev = %v, %v", sd, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v/%v, %v", min, max, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tc := range tests {
+		got, err := Quantile(xs, tc.q)
+		if err != nil || math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, %v; want %v", tc.q, got, err, tc.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("want error for q > 1")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if got, err := Quantile([]float64{7}, 0.9); err != nil || got != 7 {
+		t.Errorf("single-element quantile = %v, %v", got, err)
+	}
+	if m, err := Median([]float64{5, 1, 9}); err != nil || m != 5 {
+		t.Errorf("Median = %v, %v", m, err)
+	}
+}
+
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa, qb = math.Abs(math.Mod(qa, 1)), math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		a, err1 := Quantile(xs, qa)
+		b, err2 := Quantile(xs, qb)
+		return err1 == nil && err2 == nil && a <= b+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("want ErrMismatch, got %v", err)
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("want error for constant x")
+	}
+}
+
+func TestFitLineNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, x)
+		ys = append(ys, -1.5*x+4+rng.NormFloat64()*0.1)
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope+1.5) > 0.05 || math.Abs(fit.Intercept-4) > 0.05 {
+		t.Errorf("fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r, err := Pearson(xs, []float64{2, 4, 6, 8}); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect corr = %v, %v", r, err)
+	}
+	if r, err := Pearson(xs, []float64{8, 6, 4, 2}); err != nil || math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorr = %v, %v", r, err)
+	}
+	if _, err := Pearson(xs, []float64{1, 1, 1, 1}); err == nil {
+		t.Error("want error for zero variance")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("want ErrMismatch, got %v", err)
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true // degenerate draw
+		}
+		return r >= -1-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpDecayFit(t *testing.T) {
+	// y = 2 + 5·e^(−x/7)
+	var xs, ys []float64
+	for x := 0.0; x < 40; x++ {
+		xs = append(xs, x)
+		ys = append(ys, 2+5*math.Exp(-x/7))
+	}
+	tau, err := ExpDecayFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-7) > 1.5 {
+		t.Errorf("tau = %v, want ≈ 7", tau)
+	}
+	// A growing series must be rejected.
+	for i := range ys {
+		ys[i] = float64(i)
+	}
+	if _, err := ExpDecayFit(xs, ys); err == nil {
+		t.Error("want error for growing series")
+	}
+	if _, err := ExpDecayFit(xs[:2], ys[:2]); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := ExpDecayFit(xs, ys[:3]); !errors.Is(err, ErrMismatch) {
+		t.Errorf("want ErrMismatch, got %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package surface
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+// TestQuickDeltaMetricProperties checks the metric-like properties of δ on
+// random mixture fields: non-negativity, identity, symmetry and absolute
+// homogeneity (δ(c·f, c·g) = |c|·δ(f, g)).
+func TestQuickDeltaMetricProperties(t *testing.T) {
+	mk := func(rng *rand.Rand) field.Field {
+		m := &field.Mixture{Region: geom.Square(50), Base: rng.NormFloat64()}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			m.Blobs = append(m.Blobs, field.Blob{
+				Center: geom.V2(rng.Float64()*50, rng.Float64()*50),
+				Amp:    rng.NormFloat64() * 5,
+				SigmaX: 2 + rng.Float64()*8,
+				SigmaY: 2 + rng.Float64()*8,
+			})
+		}
+		return m
+	}
+	scale := func(f field.Field, c float64) field.Field {
+		return field.Func{
+			F:      func(p geom.Vec2) float64 { return c * f.Eval(p) },
+			Region: f.Bounds(),
+		}
+	}
+	prop := func(seed int64, cRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f, g := mk(rng), mk(rng)
+		c := math.Mod(cRaw, 10)
+		if math.IsNaN(c) {
+			return true
+		}
+		const n = 20
+		dfg := Delta(f, g, n)
+		if dfg < 0 {
+			return false
+		}
+		if Delta(f, f, n) != 0 {
+			return false
+		}
+		if math.Abs(Delta(g, f, n)-dfg) > 1e-9*(1+dfg) {
+			return false
+		}
+		scaled := Delta(scale(f, c), scale(g, c), n)
+		return math.Abs(scaled-math.Abs(c)*dfg) <= 1e-9*(1+scaled)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTINWithinSampleRange checks the maximum principle of linear
+// interpolation: inside the hull, DT(x, y) never exceeds the sampled
+// value range.
+func TestQuickTINWithinSampleRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := field.Peaks(geom.Square(100))
+		var samples []field.Sample
+		for _, c := range geom.Square(100).Corners() {
+			samples = append(samples, field.Sample{Pos: c, Z: f.Eval(c)})
+		}
+		for i := 0; i < 3+rng.Intn(30); i++ {
+			p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+			samples = append(samples, field.Sample{Pos: p, Z: f.Eval(p)})
+		}
+		tin, err := FromSamples(geom.Square(100), samples)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range samples {
+			lo = math.Min(lo, s.Z)
+			hi = math.Max(hi, s.Z)
+		}
+		for q := 0; q < 50; q++ {
+			p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+			z := tin.Eval(p)
+			if z < lo-1e-9 || z > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLocalErrorZeroAtSamples checks that after Update against a TIN
+// containing the lattice point itself, the local error there vanishes.
+func TestQuickLocalErrorZeroAtSamples(t *testing.T) {
+	f := field.Peaks(geom.Square(100))
+	g := NewLocalErrorGrid(f, 20)
+	tin := NewTIN(geom.Square(100))
+	for _, c := range geom.Square(100).Corners() {
+		if err := tin.Add(field.Sample{Pos: c, Z: f.Eval(c)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Add a handful of lattice points as samples.
+	picks := [][2]int{{5, 5}, {10, 15}, {3, 18}, {17, 2}}
+	for _, ij := range picks {
+		p := g.Pos(ij[0], ij[1])
+		if err := tin.Add(field.Sample{Pos: p, Z: f.Eval(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Update(tin)
+	for _, ij := range picks {
+		if e := g.Err(ij[0], ij[1]); e > 1e-9 {
+			t.Errorf("local error at sampled lattice point (%d,%d) = %v", ij[0], ij[1], e)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package surface
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+// asciiRamp orders glyphs from low to high value for terminal heatmaps.
+const asciiRamp = " .:-=+*#%@"
+
+// RenderASCII writes an rows×cols ASCII heatmap of f over its bounds —
+// the reproduction's stand-in for the paper's Matlab birdview plots
+// (Figs 1, 5, 6, 8, 9). Row 0 is the top (max Y), matching visual
+// orientation.
+func RenderASCII(w io.Writer, f field.Field, cols, rows int) error {
+	if cols < 2 || rows < 2 {
+		return fmt.Errorf("surface: render grid %dx%d too small", cols, rows)
+	}
+	r := f.Bounds()
+	vals := make([]float64, cols*rows)
+	min, max := f.Eval(r.Min), f.Eval(r.Min)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			p := geom.V2(
+				r.Min.X+r.Width()*float64(j)/float64(cols-1),
+				r.Max.Y-r.Height()*float64(i)/float64(rows-1),
+			)
+			v := f.Eval(p)
+			vals[i*cols+j] = v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	span := max - min
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			idx := 0
+			if span > 0 {
+				idx = int((vals[i*cols+j] - min) / span * float64(len(asciiRamp)-1))
+			}
+			if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("surface: write ascii render: %w", err)
+	}
+	return nil
+}
+
+// RenderPGM writes f as a binary PGM (P5) grayscale image, cols×rows,
+// suitable for viewing with any image tool.
+func RenderPGM(w io.Writer, f field.Field, cols, rows int) error {
+	if cols < 2 || rows < 2 {
+		return fmt.Errorf("surface: render grid %dx%d too small", cols, rows)
+	}
+	r := f.Bounds()
+	vals := make([]float64, cols*rows)
+	min, max := f.Eval(r.Min), f.Eval(r.Min)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			p := geom.V2(
+				r.Min.X+r.Width()*float64(j)/float64(cols-1),
+				r.Max.Y-r.Height()*float64(i)/float64(rows-1),
+			)
+			v := f.Eval(p)
+			vals[i*cols+j] = v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", cols, rows); err != nil {
+		return fmt.Errorf("surface: write pgm header: %w", err)
+	}
+	span := max - min
+	pix := make([]byte, len(vals))
+	for i, v := range vals {
+		if span > 0 {
+			pix[i] = byte((v - min) / span * 255)
+		}
+	}
+	if _, err := w.Write(pix); err != nil {
+		return fmt.Errorf("surface: write pgm pixels: %w", err)
+	}
+	return nil
+}
+
+// WriteGridCSV writes f sampled on an (n+1)×(n+1) lattice as CSV rows
+// x,y,z — the raw data behind any of the paper's surface figures.
+func WriteGridCSV(w io.Writer, f field.Field, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	r := f.Bounds()
+	if _, err := io.WriteString(w, "x,y,z\n"); err != nil {
+		return fmt.Errorf("surface: write csv header: %w", err)
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			p := geom.V2(
+				r.Min.X+r.Width()*float64(i)/float64(n),
+				r.Min.Y+r.Height()*float64(j)/float64(n),
+			)
+			if _, err := fmt.Fprintf(w, "%g,%g,%g\n", p.X, p.Y, f.Eval(p)); err != nil {
+				return fmt.Errorf("surface: write csv row: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// RenderTopologyASCII draws node positions and Rc-edges as an ASCII map of
+// the region — the stand-in for the paper's topology birdviews (Figs 3, 5a,
+// 6a, 8a, 9a). Nodes print as 'o', edge paths as '.', empty space as ' '.
+func RenderTopologyASCII(w io.Writer, region geom.Rect, nodes []geom.Vec2, rc float64, cols, rows int) error {
+	if cols < 2 || rows < 2 {
+		return fmt.Errorf("surface: render grid %dx%d too small", cols, rows)
+	}
+	canvas := make([][]byte, rows)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", cols))
+	}
+	toCell := func(p geom.Vec2) (int, int) {
+		j := int(float64(cols-1) * (p.X - region.Min.X) / region.Width())
+		i := int(float64(rows-1) * (region.Max.Y - p.Y) / region.Height())
+		return clampInt(i, 0, rows-1), clampInt(j, 0, cols-1)
+	}
+	// Edges first so node glyphs overwrite them.
+	for a := 0; a < len(nodes); a++ {
+		for b := a + 1; b < len(nodes); b++ {
+			if nodes[a].Dist(nodes[b]) > rc {
+				continue
+			}
+			steps := cols + rows
+			for s := 0; s <= steps; s++ {
+				p := nodes[a].Lerp(nodes[b], float64(s)/float64(steps))
+				i, j := toCell(p)
+				if canvas[i][j] == ' ' {
+					canvas[i][j] = '.'
+				}
+			}
+		}
+	}
+	for _, p := range nodes {
+		i, j := toCell(p)
+		canvas[i][j] = 'o'
+	}
+	for _, line := range canvas {
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return fmt.Errorf("surface: write topology render: %w", err)
+		}
+	}
+	return nil
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,120 @@
+package surface
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+func TestRenderASCIIShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderASCII(&buf, field.Peaks(geom.Square(100)), 40, 20); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("rows = %d, want 20", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 40 {
+			t.Errorf("row %d width = %d, want 40", i, len(l))
+		}
+	}
+}
+
+func TestRenderASCIIConstantField(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderASCII(&buf, field.Constant(geom.Square(10), 7), 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Zero span: everything renders as the lowest glyph without NaN.
+	for _, c := range strings.TrimRight(buf.String(), "\n") {
+		if c != ' ' && c != '\n' {
+			t.Fatalf("unexpected glyph %q for constant field", c)
+		}
+	}
+}
+
+func TestRenderASCIIUsesFullRamp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderASCII(&buf, field.Plane(geom.Square(10), 1, 0, 0), 30, 10); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "@") || !strings.Contains(s, " ") {
+		t.Error("gradient should span the full glyph ramp")
+	}
+}
+
+func TestRenderASCIITooSmall(t *testing.T) {
+	if err := RenderASCII(&bytes.Buffer{}, field.Constant(geom.Square(1), 0), 1, 5); err == nil {
+		t.Error("want error for tiny grid")
+	}
+}
+
+func TestRenderPGM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderPGM(&buf, field.Peaks(geom.Square(100)), 32, 16); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P5\n32 16\n255\n")) {
+		t.Fatalf("bad header: %q", b[:16])
+	}
+	if got := len(b) - len("P5\n32 16\n255\n"); got != 32*16 {
+		t.Errorf("pixel bytes = %d, want %d", got, 32*16)
+	}
+}
+
+func TestRenderPGMTooSmall(t *testing.T) {
+	if err := RenderPGM(&bytes.Buffer{}, field.Constant(geom.Square(1), 0), 2, 1); err == nil {
+		t.Error("want error for tiny grid")
+	}
+}
+
+func TestWriteGridCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGridCSV(&buf, field.Plane(geom.Square(10), 1, 0, 0), 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "x,y,z" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 1+9 {
+		t.Errorf("lines = %d, want 10", len(lines))
+	}
+	if lines[1] != "0,0,0" {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestRenderTopologyASCII(t *testing.T) {
+	var buf bytes.Buffer
+	nodes := []geom.Vec2{geom.V2(10, 10), geom.V2(20, 10), geom.V2(90, 90)}
+	if err := RenderTopologyASCII(&buf, geom.Square(100), nodes, 15, 40, 20); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if got := strings.Count(s, "o"); got != 3 {
+		t.Errorf("node glyphs = %d, want 3", got)
+	}
+	// The two nearby nodes are linked; the far one is not, so there must
+	// be some edge glyphs but no path to the far corner.
+	if !strings.Contains(s, ".") {
+		t.Error("no edge glyphs for connected pair")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 20 || len(lines[0]) != 40 {
+		t.Errorf("canvas = %dx%d", len(lines), len(lines[0]))
+	}
+}
+
+func TestRenderTopologyASCIITooSmall(t *testing.T) {
+	if err := RenderTopologyASCII(&bytes.Buffer{}, geom.Square(1), nil, 1, 1, 1); err == nil {
+		t.Error("want error for tiny grid")
+	}
+}

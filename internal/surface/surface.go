@@ -1,0 +1,245 @@
+// Package surface ties environment values to a Delaunay triangulation,
+// producing the rebuilt virtual surface z* = DT(x, y) of the paper, and
+// implements the quality metric δ — the volume difference between the real
+// and the rebuilt surface (paper Theorem 3.1):
+//
+//	δ(V(z), V(z*)) = ∫∫_A |f(x, y) − DT(x, y)| dx dy
+//
+// evaluated numerically on the region lattice.
+package surface
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/delaunay"
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+// ErrNoData is returned when a surface has no samples at all.
+var ErrNoData = errors.New("surface: no samples")
+
+// TIN is a triangulated irregular network: a Delaunay triangulation of
+// sample positions with the sampled z value attached to each vertex. It
+// implements field.Field via piecewise-linear (barycentric) interpolation
+// over the triangles, falling back to the nearest sample outside the
+// convex hull.
+type TIN struct {
+	tri *delaunay.Triangulation
+	z   map[int]float64 // vertex ID -> sampled value
+}
+
+// NewTIN returns an empty TIN over the given region.
+func NewTIN(region geom.Rect) *TIN {
+	return &TIN{tri: delaunay.New(region), z: make(map[int]float64)}
+}
+
+// FromSamples builds a TIN from a sample set. Duplicate positions keep the
+// first value. It returns ErrNoData for an empty input.
+func FromSamples(region geom.Rect, samples []field.Sample) (*TIN, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoData
+	}
+	t := NewTIN(region)
+	for _, s := range samples {
+		if err := t.Add(s); err != nil && !errors.Is(err, delaunay.ErrDuplicate) {
+			return nil, fmt.Errorf("surface: add sample at %v: %w", s.Pos, err)
+		}
+	}
+	return t, nil
+}
+
+// Add inserts one sample. Duplicates return delaunay.ErrDuplicate and keep
+// the existing value.
+func (t *TIN) Add(s field.Sample) error {
+	id, err := t.tri.Insert(s.Pos)
+	if err != nil {
+		return err
+	}
+	t.z[id] = s.Z
+	return nil
+}
+
+// NumSamples returns the number of distinct sample positions.
+func (t *TIN) NumSamples() int { return t.tri.NumVertices() }
+
+// Bounds implements field.Field.
+func (t *TIN) Bounds() geom.Rect { return t.tri.Bounds() }
+
+// Eval implements field.Field: DT(x, y), the piecewise-linear Delaunay
+// interpolation of the samples. Queries outside the convex hull (or on an
+// empty TIN) fall back to the nearest sample value; a fully empty TIN
+// returns 0.
+func (t *TIN) Eval(p geom.Vec2) float64 {
+	z, _ := t.eval(p)
+	return z
+}
+
+// EvalChecked is Eval plus a flag reporting whether the query was resolved
+// by true triangle interpolation (inside the hull) rather than the
+// nearest-sample fallback.
+func (t *TIN) EvalChecked(p geom.Vec2) (float64, bool) { return t.eval(p) }
+
+func (t *TIN) eval(p geom.Vec2) (float64, bool) {
+	if v, ok := t.tri.Find(p); ok {
+		a, b, c := t.tri.Point(v[0]), t.tri.Point(v[1]), t.tri.Point(v[2])
+		wa, wb, wc, ok := geom.Barycentric(a, b, c, p)
+		if ok {
+			return wa*t.z[v[0]] + wb*t.z[v[1]] + wc*t.z[v[2]], true
+		}
+	}
+	if id := t.tri.NearestVertex(p); id >= 0 {
+		return t.z[id], false
+	}
+	return 0, false
+}
+
+// Samples returns the TIN's samples in insertion order.
+func (t *TIN) Samples() []field.Sample {
+	ids := t.tri.VertexIDs()
+	out := make([]field.Sample, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, field.Sample{Pos: t.tri.Point(id), Z: t.z[id]})
+	}
+	return out
+}
+
+// Positions returns the sample positions in insertion order.
+func (t *TIN) Positions() []geom.Vec2 {
+	ids := t.tri.VertexIDs()
+	out := make([]geom.Vec2, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, t.tri.Point(id))
+	}
+	return out
+}
+
+// Triangles returns the triangle vertex positions of the current
+// triangulation (real vertices only).
+func (t *TIN) Triangles() [][3]geom.Vec2 {
+	tris := t.tri.Triangles()
+	out := make([][3]geom.Vec2, 0, len(tris))
+	for _, tr := range tris {
+		out = append(out, [3]geom.Vec2{
+			t.tri.Point(tr.V[0]), t.tri.Point(tr.V[1]), t.tri.Point(tr.V[2]),
+		})
+	}
+	return out
+}
+
+// Delta computes the paper's δ between a reference field f and an
+// approximation g over f's bounds, integrating |f − g| on an n-division
+// lattice with the midpoint rule. Typical n for the 100×100 region is 100
+// (one-meter cells, mirroring the paper's √A × √A lattice).
+func Delta(f field.Field, g field.Field, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	r := f.Bounds()
+	dx := r.Width() / float64(n)
+	dy := r.Height() / float64(n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := geom.V2(r.Min.X+dx*(float64(i)+0.5), r.Min.Y+dy*(float64(j)+0.5))
+			sum += math.Abs(f.Eval(p) - g.Eval(p))
+		}
+	}
+	return sum * dx * dy
+}
+
+// DeltaSamples computes δ between f and the Delaunay reconstruction of the
+// given samples — the end-to-end quality of a node placement.
+func DeltaSamples(f field.Field, samples []field.Sample, n int) (float64, error) {
+	t, err := FromSamples(f.Bounds(), samples)
+	if err != nil {
+		return 0, err
+	}
+	return Delta(f, t, n), nil
+}
+
+// LocalErrorGrid is the FRA working state: the lattice of local errors
+// Err[i][j] = |f(x_i, y_j) − DT(x_i, y_j)| over the region (paper
+// Section 4.2, "Local error").
+type LocalErrorGrid struct {
+	region geom.Rect
+	n      int // lattice divisions per side
+	ref    []float64
+	err    []float64
+}
+
+// NewLocalErrorGrid precomputes the reference values of f on an
+// (n+1)×(n+1) lattice.
+func NewLocalErrorGrid(f field.Field, n int) *LocalErrorGrid {
+	if n < 1 {
+		n = 1
+	}
+	g := &LocalErrorGrid{
+		region: f.Bounds(),
+		n:      n,
+		ref:    make([]float64, (n+1)*(n+1)),
+		err:    make([]float64, (n+1)*(n+1)),
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			g.ref[g.idx(i, j)] = f.Eval(g.Pos(i, j))
+		}
+	}
+	return g
+}
+
+// N returns the number of divisions per side.
+func (g *LocalErrorGrid) N() int { return g.n }
+
+// Pos returns the plane position of lattice node (i, j).
+func (g *LocalErrorGrid) Pos(i, j int) geom.Vec2 {
+	return geom.V2(
+		g.region.Min.X+g.region.Width()*float64(i)/float64(g.n),
+		g.region.Min.Y+g.region.Height()*float64(j)/float64(g.n),
+	)
+}
+
+// Ref returns the reference value at lattice node (i, j).
+func (g *LocalErrorGrid) Ref(i, j int) float64 { return g.ref[g.idx(i, j)] }
+
+// Err returns the current local error at lattice node (i, j).
+func (g *LocalErrorGrid) Err(i, j int) float64 { return g.err[g.idx(i, j)] }
+
+func (g *LocalErrorGrid) idx(i, j int) int { return i*(g.n+1) + j }
+
+// Update recomputes every local error against the given reconstruction
+// (paper FRA line 11: update(Err) after new triangles are generated).
+func (g *LocalErrorGrid) Update(t *TIN) {
+	for i := 0; i <= g.n; i++ {
+		for j := 0; j <= g.n; j++ {
+			k := g.idx(i, j)
+			g.err[k] = math.Abs(g.ref[k] - t.Eval(g.Pos(i, j)))
+		}
+	}
+}
+
+// ArgMax returns the lattice node with the maximum local error (FRA line
+// 9). Ties resolve to the smallest (i, j) in row-major order, keeping the
+// algorithm deterministic.
+func (g *LocalErrorGrid) ArgMax() (i, j int, err float64) {
+	best := -1
+	for k, e := range g.err {
+		if best == -1 || e > g.err[best] {
+			best = k
+		}
+	}
+	return best / (g.n + 1), best % (g.n + 1), g.err[best]
+}
+
+// Sum returns the lattice sum of local errors times the cell area — a
+// cheap running approximation of δ used for progress reporting.
+func (g *LocalErrorGrid) Sum() float64 {
+	cell := (g.region.Width() / float64(g.n)) * (g.region.Height() / float64(g.n))
+	s := 0.0
+	for _, e := range g.err {
+		s += e
+	}
+	return s * cell
+}
