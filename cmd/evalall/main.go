@@ -8,6 +8,9 @@
 //
 //	evalall           # quick profile (coarser lattices, fewer k points)
 //	evalall -full     # the paper's full resolution (slower)
+//
+// -cpuprofile and -memprofile write pprof profiles of the run, for
+// inspecting where the evaluation pipeline spends its time.
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -28,7 +33,34 @@ func main() {
 
 	full := flag.Bool("full", false, "run at the paper's full resolution")
 	ext := flag.Bool("ext", false, "also run the extension experiments (network cost, CMA vs centralized)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	gridN, deltaN, slots := 50, 50, 30
 	ks := []int{1, 10, 25, 50, 75, 100, 125, 150, 200}

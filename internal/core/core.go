@@ -56,6 +56,11 @@ type FRAOptions struct {
 	// yields a lower δ but a disconnected network, violating the paper's
 	// constraint.
 	DisableForesight bool
+	// fullGridUpdates disables the incremental dirty-region refresh of the
+	// local-error lattice, recomputing the whole grid after every
+	// insertion as the original implementation did. The two paths produce
+	// identical placements; this knob exists so tests can prove it.
+	fullGridUpdates bool
 }
 
 // DefaultFRAOptions returns the evaluation settings of the paper's
@@ -99,14 +104,31 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 	errGrid.Update(tin)
 
 	selected := make([]geom.Vec2, 0, opts.K)
+	selectedSet := make(map[geom.Vec2]bool, opts.K)
 	banned := make(map[geom.Vec2]bool)
+	tried := make(map[geom.Vec2]bool) // scratch, cleared per refinement step
 
-	addNode := func(p geom.Vec2) error {
-		if err := tin.Add(field.Sample{Pos: p, Z: f.Eval(p)}); err != nil {
-			return err
+	// The oracle answers the affordability check L(G ∪ {p}, Rc) ≤ budget
+	// incrementally instead of rebuilding the unit-disk graph per
+	// candidate; it is not needed when foresight is off.
+	var oracle *graph.RelayOracle
+	if !opts.DisableForesight {
+		oracle = graph.NewRelayOracle(opts.Rc)
+	}
+
+	// addNode inserts p into the reconstruction and reports the lattice
+	// region the insertion dirtied (exact=false demands a full refresh).
+	addNode := func(p geom.Vec2) (dirty geom.Rect, exact bool, err error) {
+		dirty, exact, err = tin.AddDirty(field.Sample{Pos: p, Z: f.Eval(p)})
+		if err != nil {
+			return dirty, exact, err
 		}
 		selected = append(selected, p)
-		return nil
+		selectedSet[p] = true
+		if oracle != nil {
+			oracle.Commit(p)
+		}
+		return dirty, exact, nil
 	}
 
 	spendRestOnRelays := func() {
@@ -114,7 +136,7 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 			if len(selected) >= opts.K {
 				break
 			}
-			if err := addNode(region.ClampPoint(rp)); err != nil {
+			if _, _, err := addNode(region.ClampPoint(rp)); err != nil {
 				continue // duplicate relay position; skip
 			}
 			placement.Relays++
@@ -124,7 +146,7 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 	for len(selected) < opts.K {
 		remaining := opts.K - len(selected)
 		if !opts.DisableForesight && len(selected) > 0 &&
-			graph.RelaysNeeded(selected, opts.Rc) >= remaining {
+			oracle.Relays() >= remaining {
 			// Foresight trigger: the rest of the budget goes to relays.
 			spendRestOnRelays()
 			break
@@ -136,7 +158,7 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 		if opts.DisableForesight {
 			budget = int(^uint(0) >> 1) // unconstrained
 		}
-		p, ok := nextRefinement(errGrid, selected, banned, opts.Rc, budget)
+		p, ok := nextRefinement(errGrid, oracle, selectedSet, banned, tried, budget)
 		if !ok {
 			if opts.DisableForesight {
 				break
@@ -144,12 +166,17 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 			spendRestOnRelays()
 			break
 		}
-		if err := addNode(p); err != nil {
+		dirty, exact, err := addNode(p)
+		if err != nil {
 			banned[p] = true
 			continue
 		}
 		placement.Refined++
-		errGrid.Update(tin)
+		if exact && !opts.fullGridUpdates {
+			errGrid.UpdateRegion(tin, dirty)
+		} else {
+			errGrid.Update(tin)
+		}
 	}
 
 	placement.Nodes = selected
@@ -158,52 +185,48 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 
 // nextRefinement scans lattice positions in decreasing local-error order
 // and returns the best position whose addition keeps the relay bill within
-// budgetAfter. ok is false when no position qualifies. Local errors are
-// highly peaked, so trying candidates in argmax order converges after a
-// handful of attempts in practice; the attempt budget bounds the worst
-// case.
-func nextRefinement(g *surface.LocalErrorGrid, selected []geom.Vec2, banned map[geom.Vec2]bool, rc float64, budgetAfter int) (geom.Vec2, bool) {
+// budgetAfter (checked through the oracle; a nil oracle means the budget
+// is unconstrained). ok is false when no position qualifies. Local errors
+// are highly peaked, so trying candidates in argmax order converges after
+// a handful of attempts in practice; the attempt budget bounds the worst
+// case. tried is caller-owned scratch, cleared here, so steady-state
+// refinement allocates nothing per attempt.
+func nextRefinement(g *surface.LocalErrorGrid, oracle *graph.RelayOracle, selectedSet, banned, tried map[geom.Vec2]bool, budgetAfter int) (geom.Vec2, bool) {
 	n := g.N()
-	tried := make(map[geom.Vec2]bool)
+	clear(tried)
 	const maxAttempts = 64
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		bestE := -1.0
 		var bestP geom.Vec2
 		for i := 0; i <= n; i++ {
 			for j := 0; j <= n; j++ {
+				e := g.Err(i, j)
+				if e <= bestE {
+					continue
+				}
+				// Only the running maximum pays for the position lookup
+				// and the exclusion checks.
 				p := g.Pos(i, j)
 				if banned[p] || tried[p] {
 					continue
 				}
-				if e := g.Err(i, j); e > bestE {
-					bestE, bestP = e, p
-				}
+				bestE, bestP = e, p
 			}
 		}
 		if bestE < 0 {
 			return geom.Vec2{}, false
 		}
 		tried[bestP] = true
-		if containsPoint(selected, bestP) {
+		if selectedSet[bestP] {
 			continue
 		}
 		// Affordability check: would connectivity still be payable after
 		// adding this node?
-		cand := append(append([]geom.Vec2(nil), selected...), bestP)
-		if graph.RelaysNeeded(cand, rc) <= budgetAfter {
+		if oracle == nil || oracle.RelaysWith(bestP) <= budgetAfter {
 			return bestP, true
 		}
 	}
 	return geom.Vec2{}, false
-}
-
-func containsPoint(pts []geom.Vec2, p geom.Vec2) bool {
-	for _, q := range pts {
-		if q == p {
-			return true
-		}
-	}
-	return false
 }
 
 // RandomPlacement returns the paper's baseline: k positions drawn

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/field"
+)
+
+// TestFRAIncrementalMatchesFullUpdates proves the dirty-region refresh is
+// exact: FRA with incremental local-error updates must pick the identical
+// node sequence as FRA recomputing the whole grid after every insertion.
+func TestFRAIncrementalMatchesFullUpdates(t *testing.T) {
+	f := field.NewForest(field.DefaultForestConfig()).Reference()
+	for _, k := range []int{10, 40, 120} {
+		opts := core.FRAOptions{K: k, Rc: 10, GridN: 60, AnchorCorners: true}
+		inc, err := core.FRA(f, opts)
+		if err != nil {
+			t.Fatalf("k=%d incremental: %v", k, err)
+		}
+		full, err := core.FRA(f, core.WithFullGridUpdates(opts))
+		if err != nil {
+			t.Fatalf("k=%d full: %v", k, err)
+		}
+		if len(inc.Nodes) != len(full.Nodes) {
+			t.Fatalf("k=%d: %d vs %d nodes", k, len(inc.Nodes), len(full.Nodes))
+		}
+		for i := range inc.Nodes {
+			if inc.Nodes[i] != full.Nodes[i] {
+				t.Fatalf("k=%d node %d: incremental %v != full %v",
+					k, i, inc.Nodes[i], full.Nodes[i])
+			}
+		}
+		if inc.Refined != full.Refined || inc.Relays != full.Relays {
+			t.Fatalf("k=%d: refined/relays %d/%d vs %d/%d",
+				k, inc.Refined, inc.Relays, full.Refined, full.Relays)
+		}
+	}
+}
+
+// TestFRADeterministicAcrossProcs: FRA's internal parallel lattice updates
+// must not perturb the chosen placement at any GOMAXPROCS.
+func TestFRADeterministicAcrossProcs(t *testing.T) {
+	f := field.NewForest(field.DefaultForestConfig()).Reference()
+	opts := core.FRAOptions{K: 60, Rc: 10, GridN: 60, AnchorCorners: true}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var base core.Placement
+	for i, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		p, err := core.FRA(f, opts)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		if i == 0 {
+			base = p
+			continue
+		}
+		if len(p.Nodes) != len(base.Nodes) {
+			t.Fatalf("GOMAXPROCS=%d: %d vs %d nodes", procs, len(p.Nodes), len(base.Nodes))
+		}
+		for j := range p.Nodes {
+			if p.Nodes[j] != base.Nodes[j] {
+				t.Fatalf("GOMAXPROCS=%d node %d: %v != %v", procs, j, p.Nodes[j], base.Nodes[j])
+			}
+		}
+	}
+}

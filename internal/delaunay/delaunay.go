@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -65,7 +66,11 @@ type Triangulation struct {
 	pts    []geom.Vec2 // all vertices, including the 3 super vertices
 	tris   []tri
 	free   []int // indices of dead triangles available for reuse
-	last   int   // triangle index where the previous walk ended
+	// last is the triangle index where the previous walk ended — a shared
+	// warm-start hint for the remembering walk. It is accessed atomically so
+	// that read-only queries (Find, NearestVertex, interpolation) are safe
+	// from multiple goroutines; Insert still requires exclusive access.
+	last atomic.Int64
 }
 
 // New returns an empty triangulation able to accept any point inside
@@ -105,12 +110,32 @@ func (t *Triangulation) Bounds() geom.Rect { return t.bounds }
 // returns a *DuplicateError (errors.Is(err, ErrDuplicate)) carrying the
 // prior ID.
 func (t *Triangulation) Insert(p geom.Vec2) (int, error) {
+	id, _, err := t.InsertDirty(p)
+	return id, err
+}
+
+// Dirty describes the region invalidated by one insertion: every point
+// whose covering triangle changed lies inside Region (the bounding box of
+// the retriangulated cavity). Hull reports whether the cavity touched a
+// ghost (super-vertex) triangle, i.e. whether the convex hull of the real
+// vertices may have changed — callers that interpolate with an
+// outside-the-hull fallback cannot trust Region alone in that case.
+type Dirty struct {
+	Region geom.Rect
+	Hull   bool
+}
+
+// InsertDirty is Insert plus a report of the dirty region the insertion
+// invalidated, enabling incremental re-evaluation of derived state (FRA's
+// local-error lattice) in O(|cavity|) instead of O(domain). A failed or
+// duplicate insertion returns a zero Dirty: nothing changed.
+func (t *Triangulation) InsertDirty(p geom.Vec2) (int, Dirty, error) {
 	if !p.IsFinite() || !t.bounds.Contains(p) {
-		return -1, fmt.Errorf("%w: %v not in %v", ErrOutOfBounds, p, t.bounds)
+		return -1, Dirty{}, fmt.Errorf("%w: %v not in %v", ErrOutOfBounds, p, t.bounds)
 	}
 	start, err := t.locate(p)
 	if err != nil {
-		return -1, err
+		return -1, Dirty{}, err
 	}
 	// Duplicate check against the vertices of the containing triangle and
 	// its cavity is insufficient for near-coincident points that fall in a
@@ -118,23 +143,33 @@ func (t *Triangulation) Insert(p geom.Vec2) (int, error) {
 	// and, below, every cavity vertex.
 	for _, v := range t.tris[start].v {
 		if v >= nSuper && t.pts[v].Dist2(p) < duplicateEps2 {
-			return v, &DuplicateError{ID: v}
+			return v, Dirty{}, &DuplicateError{ID: v}
 		}
 	}
 
 	cavity := t.findCavity(p, start)
+	dirty := Dirty{Region: geom.Rect{Min: p, Max: p}}
 	for _, ti := range cavity {
 		for _, v := range t.tris[ti].v {
-			if v >= nSuper && t.pts[v].Dist2(p) < duplicateEps2 {
-				return v, &DuplicateError{ID: v}
+			if v < nSuper {
+				dirty.Hull = true
+				continue
 			}
+			if t.pts[v].Dist2(p) < duplicateEps2 {
+				return v, Dirty{}, &DuplicateError{ID: v}
+			}
+			q := t.pts[v]
+			dirty.Region.Min.X = math.Min(dirty.Region.Min.X, q.X)
+			dirty.Region.Min.Y = math.Min(dirty.Region.Min.Y, q.Y)
+			dirty.Region.Max.X = math.Max(dirty.Region.Max.X, q.X)
+			dirty.Region.Max.Y = math.Max(dirty.Region.Max.Y, q.Y)
 		}
 	}
 
 	id := len(t.pts)
 	t.pts = append(t.pts, p)
 	t.retriangulate(p, id, cavity)
-	return id, nil
+	return id, dirty, nil
 }
 
 // findCavity returns the indices of all alive triangles whose circumcircle
@@ -262,7 +297,7 @@ func (t *Triangulation) retriangulate(p geom.Vec2, id int, cavity []int) {
 		}
 	}
 	if len(created) > 0 {
-		t.last = created[0]
+		t.last.Store(int64(created[0]))
 	}
 }
 
@@ -294,7 +329,18 @@ func (t *Triangulation) alloc() int {
 // neighbor walk from the last-touched triangle with a linear-scan fallback
 // for robustness.
 func (t *Triangulation) locate(p geom.Vec2) (int, error) {
-	cur := t.last
+	ti, err := t.walkFrom(int(t.last.Load()), p)
+	if err == nil {
+		t.last.Store(int64(ti))
+	}
+	return ti, err
+}
+
+// walkFrom is the walk behind locate, starting from the given cursor hint
+// (revalidated; any value is acceptable). It reads but never writes the
+// triangulation, so any number of goroutines may walk concurrently as long
+// as no Insert runs at the same time.
+func (t *Triangulation) walkFrom(cur int, p geom.Vec2) (int, error) {
 	if cur < 0 || cur >= len(t.tris) || !t.tris[cur].alive {
 		cur = t.anyAlive()
 	}
@@ -311,7 +357,6 @@ func (t *Triangulation) locate(p geom.Vec2) (int, error) {
 		}
 		if next == -1 {
 			// No separating edge: p is inside (or on the border of) cur.
-			t.last = cur
 			return cur, nil
 		}
 		if next < 0 {
@@ -326,7 +371,6 @@ func (t *Triangulation) locate(p geom.Vec2) (int, error) {
 			continue
 		}
 		if geom.InTriangle(t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]], p) {
-			t.last = i
 			return i, nil
 		}
 	}
@@ -370,11 +414,65 @@ func (t *Triangulation) Find(p geom.Vec2) (v [3]int, ok bool) {
 	if err != nil {
 		return v, false
 	}
+	return t.realTriangleAt(ti, p)
+}
+
+// realTriangleAt resolves the walk's final triangle ti into a triangle of
+// real vertices containing p. A point exactly on a hull edge is contained
+// in both the real triangle and the ghost across the edge, and the walk
+// may stop at either depending on its path; snapping to the real neighbor
+// makes the answer deterministic and keeps hull-edge queries interpolated
+// instead of falling back to the nearest sample.
+func (t *Triangulation) realTriangleAt(ti int, p geom.Vec2) (v [3]int, ok bool) {
 	tr := &t.tris[ti]
-	if tr.v[0] < nSuper || tr.v[1] < nSuper || tr.v[2] < nSuper {
+	superIdx, superCount := -1, 0
+	for k, vv := range tr.v {
+		if vv < nSuper {
+			superIdx = k
+			superCount++
+		}
+	}
+	if superCount == 0 {
+		return tr.v, true
+	}
+	if superCount == 1 {
+		a := t.pts[tr.v[(superIdx+1)%3]]
+		b := t.pts[tr.v[(superIdx+2)%3]]
+		if geom.Orient2D(a, b, p) == geom.Collinear {
+			if nb := tr.adj[superIdx]; nb >= 0 {
+				nbt := &t.tris[nb]
+				if nbt.alive && nbt.v[0] >= nSuper && nbt.v[1] >= nSuper && nbt.v[2] >= nSuper {
+					return nbt.v, true
+				}
+			}
+		}
+	}
+	return v, false
+}
+
+// Locator is a point-location cursor with its own remembering-walk state.
+// Each Locator owns an independent warm-start hint, so any number of
+// goroutines may query the same (quiescent) Triangulation concurrently,
+// one Locator per goroutine, without contending on the shared cursor.
+// A Locator stays valid across Inserts (the hint is revalidated on every
+// query), but queries must not run concurrently with an Insert.
+type Locator struct {
+	t    *Triangulation
+	last int
+}
+
+// NewLocator returns a fresh location cursor over t.
+func (t *Triangulation) NewLocator() *Locator { return &Locator{t: t} }
+
+// Find is Triangulation.Find through this cursor: the vertex IDs of the
+// triangle of real vertices containing p.
+func (l *Locator) Find(p geom.Vec2) (v [3]int, ok bool) {
+	ti, err := l.t.walkFrom(l.last, p)
+	if err != nil {
 		return v, false
 	}
-	return tr.v, true
+	l.last = ti
+	return l.t.realTriangleAt(ti, p)
 }
 
 // NearestVertex returns the ID of the real vertex nearest to p, or -1 when

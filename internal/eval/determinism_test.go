@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// TestDeltaVsKDeterministicAcrossWorkers: the parallel sweep must be
+// bit-identical to the serial one for any worker count and GOMAXPROCS —
+// every (k, draw) task is independently seeded and collected by index.
+func TestDeltaVsKDeterministicAcrossWorkers(t *testing.T) {
+	f := field.NewForest(field.DefaultForestConfig()).Reference()
+	ks := []int{10, 25, 40}
+	base := DeltaVsKOptions{Rc: 10, GridN: 40, DeltaN: 40, RandomDraws: 3, Seed: 42}
+
+	type variant struct {
+		procs   int
+		workers int
+	}
+	var rows [][]DeltaVsKRow
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, v := range []variant{{1, 1}, {8, 1}, {1, 4}, {8, 4}, {8, 0}} {
+		runtime.GOMAXPROCS(v.procs)
+		opts := base
+		opts.Workers = v.workers
+		got, err := DeltaVsK(f, ks, opts)
+		if err != nil {
+			t.Fatalf("procs=%d workers=%d: %v", v.procs, v.workers, err)
+		}
+		rows = append(rows, got)
+	}
+	runtime.GOMAXPROCS(prev)
+	for i := 1; i < len(rows); i++ {
+		if !reflect.DeepEqual(rows[i], rows[0]) {
+			t.Errorf("variant %d rows differ from serial baseline:\n%+v\nvs\n%+v",
+				i, rows[i], rows[0])
+		}
+	}
+}
+
+func TestConvergenceTimeEmpty(t *testing.T) {
+	if tm, ok := ConvergenceTime(nil, 0.5); ok || tm != 0 {
+		t.Errorf("ConvergenceTime(nil) = (%v,%v), want (0,false)", tm, ok)
+	}
+}

@@ -10,11 +10,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"repro/internal/core"
 	"repro/internal/field"
+	"repro/internal/geom"
 	"repro/internal/sim"
 )
 
@@ -48,6 +52,10 @@ type DeltaVsKOptions struct {
 	RandomDraws int
 	// Seed drives the random baseline.
 	Seed int64
+	// Workers bounds the sweep's worker pool; 0 uses runtime.NumCPU().
+	// Every (k, draw) cell is seeded independently and collected by
+	// index, so the output is bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultDeltaVsKOptions returns the paper's Fig. 7 setting.
@@ -56,7 +64,11 @@ func DefaultDeltaVsKOptions() DeltaVsKOptions {
 }
 
 // DeltaVsK runs FRA and the random baseline for each k and reports δ —
-// the data series of Fig. 7.
+// the data series of Fig. 7. The sweep fans out over a bounded worker
+// pool: every FRA run and every random draw is an independent task with a
+// fixed seed, and results are written into index-addressed slots, so the
+// rows are bit-identical to a serial sweep regardless of worker count or
+// GOMAXPROCS.
 func DeltaVsK(f field.Field, ks []int, opts DeltaVsKOptions) ([]DeltaVsKRow, error) {
 	if len(ks) == 0 {
 		return nil, fmt.Errorf("%w: no k values", ErrBadParams)
@@ -64,38 +76,105 @@ func DeltaVsK(f field.Field, ks []int, opts DeltaVsKOptions) ([]DeltaVsKRow, err
 	if opts.RandomDraws < 1 {
 		opts.RandomDraws = 1
 	}
-	rows := make([]DeltaVsKRow, 0, len(ks))
-	for _, k := range ks {
-		fraOpts := core.FRAOptions{K: k, Rc: opts.Rc, GridN: opts.GridN, AnchorCorners: true}
-		p, err := core.FRA(f, fraOpts)
-		if err != nil {
-			return nil, fmt.Errorf("eval: FRA k=%d: %w", k, err)
-		}
-		ev, err := core.Evaluate(f, p, opts.Rc, opts.DeltaN)
-		if err != nil {
-			return nil, fmt.Errorf("eval: evaluate FRA k=%d: %w", k, err)
-		}
-		row := DeltaVsKRow{
-			K:         k,
-			FRA:       ev.Delta,
-			Refined:   p.Refined,
-			Relays:    p.Relays,
-			Connected: ev.Connected,
-		}
-		sum := 0.0
-		for d := 0; d < opts.RandomDraws; d++ {
-			r := core.RandomPlacement(f.Bounds(), k, opts.Seed+int64(d))
-			r.Anchors = p.Anchors // same reconstruction anchors for fairness
-			rev, err := core.Evaluate(f, r, opts.Rc, opts.DeltaN)
+	// The random baselines reuse FRA's reconstruction anchors (the region
+	// corners) for fairness; they are a fixed property of the region, so
+	// the random tasks need not wait for the FRA tasks.
+	corners := f.Bounds().Corners()
+	anchors := append([]geom.Vec2(nil), corners[:]...)
+
+	rows := make([]DeltaVsKRow, len(ks))
+	randDelta := make([][]float64, len(ks))
+	for i := range randDelta {
+		randDelta[i] = make([]float64, opts.RandomDraws)
+	}
+	tasks := make([]func() error, 0, len(ks)*(1+opts.RandomDraws))
+	for i, k := range ks {
+		i, k := i, k
+		tasks = append(tasks, func() error {
+			fraOpts := core.FRAOptions{K: k, Rc: opts.Rc, GridN: opts.GridN, AnchorCorners: true}
+			p, err := core.FRA(f, fraOpts)
 			if err != nil {
-				return nil, fmt.Errorf("eval: evaluate random k=%d: %w", k, err)
+				return fmt.Errorf("eval: FRA k=%d: %w", k, err)
 			}
-			sum += rev.Delta
+			ev, err := core.Evaluate(f, p, opts.Rc, opts.DeltaN)
+			if err != nil {
+				return fmt.Errorf("eval: evaluate FRA k=%d: %w", k, err)
+			}
+			rows[i] = DeltaVsKRow{
+				K:         k,
+				FRA:       ev.Delta,
+				Refined:   p.Refined,
+				Relays:    p.Relays,
+				Connected: ev.Connected,
+			}
+			return nil
+		})
+		for d := 0; d < opts.RandomDraws; d++ {
+			d := d
+			tasks = append(tasks, func() error {
+				r := core.RandomPlacement(f.Bounds(), k, opts.Seed+int64(d))
+				r.Anchors = anchors
+				rev, err := core.Evaluate(f, r, opts.Rc, opts.DeltaN)
+				if err != nil {
+					return fmt.Errorf("eval: evaluate random k=%d: %w", k, err)
+				}
+				randDelta[i][d] = rev.Delta
+				return nil
+			})
 		}
-		row.Random = sum / float64(opts.RandomDraws)
-		rows = append(rows, row)
+	}
+	if err := runTasks(tasks, opts.Workers); err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		sum := 0.0
+		for _, d := range randDelta[i] {
+			sum += d
+		}
+		rows[i].Random = sum / float64(opts.RandomDraws)
 	}
 	return rows, nil
+}
+
+// runTasks drains the task list with up to workers goroutines (0 =
+// runtime.NumCPU()) and returns the error of the lowest-indexed failed
+// task, keeping error reporting deterministic under concurrency.
+func runTasks(tasks []func() error, workers int) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	errs := make([]error, len(tasks))
+	if workers <= 1 {
+		for i, t := range tasks {
+			errs[i] = t()
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					errs[i] = tasks[i]()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DeltaVsTimeRow is one point of the Fig. 10 series.
@@ -143,8 +222,11 @@ func DeltaVsTime(w *sim.World, slots, deltaN int) ([]DeltaVsTimeRow, error) {
 // ConvergenceTime returns the first time at which the mean displacement
 // stays below eps for the rest of the series (the paper reports CMA
 // converging around 10:30, i.e. slot 30). It reports ok=false when the
-// series never settles.
+// series never settles or when rows is empty.
 func ConvergenceTime(rows []DeltaVsTimeRow, eps float64) (float64, bool) {
+	if len(rows) == 0 {
+		return 0, false
+	}
 	conv := -1.0
 	for _, r := range rows {
 		if r.T == 0 {

@@ -255,6 +255,17 @@ func (u *UnionFind) Union(a, b int) bool {
 	return true
 }
 
+// Add appends a fresh singleton set and returns its element index —
+// growing the structure incrementally, as FRA does when it accepts one
+// node per refinement step.
+func (u *UnionFind) Add() int {
+	i := len(u.parent)
+	u.parent = append(u.parent, i)
+	u.rank = append(u.rank, 0)
+	u.sets++
+	return i
+}
+
 // NumSets returns the current number of disjoint sets.
 func (u *UnionFind) NumSets() int { return u.sets }
 
@@ -275,8 +286,8 @@ func componentLinks(positions []geom.Vec2, labels []int, numComp int) []componen
 		return nil
 	}
 	// Minimum pairwise distance between every component pair, O(n²) — the
-	// node counts here are the paper's k ≤ a few hundred.
-	type pairKey struct{ lo, hi int }
+	// node counts here are the paper's k ≤ a few hundred. The incremental
+	// path (RelayOracle) avoids this rebuild entirely.
 	best := make(map[pairKey]componentLink)
 	for i := 0; i < len(positions); i++ {
 		for j := i + 1; j < len(positions); j++ {
@@ -303,7 +314,18 @@ func componentLinks(positions []geom.Vec2, labels []int, numComp int) []componen
 	for k, l := range best {
 		cands = append(cands, candidate{key: k, link: l})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].link.dist < cands[j].link.dist })
+	// Tie-break equal link lengths by component pair so the chosen MST —
+	// and hence the relay positions — never depends on map iteration
+	// order. Regular lattice placements make exact ties common.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].link.dist != cands[j].link.dist {
+			return cands[i].link.dist < cands[j].link.dist
+		}
+		if cands[i].key.lo != cands[j].key.lo {
+			return cands[i].key.lo < cands[j].key.lo
+		}
+		return cands[i].key.hi < cands[j].key.hi
+	})
 	uf := NewUnionFind(numComp)
 	var out []componentLink
 	for _, c := range cands {

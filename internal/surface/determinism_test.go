@@ -1,0 +1,91 @@
+package surface
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+// withGOMAXPROCS runs fn under each given GOMAXPROCS value and returns the
+// per-run results for comparison.
+func withGOMAXPROCS(t *testing.T, procs []int, fn func() float64) []float64 {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	out := make([]float64, len(procs))
+	for i, p := range procs {
+		runtime.GOMAXPROCS(p)
+		out[i] = fn()
+	}
+	return out
+}
+
+// TestDeltaDeterministicAcrossProcs: Delta's banded parallel integration
+// must be bit-identical at any GOMAXPROCS — the band decomposition and the
+// row-major summation order are fixed regardless of worker count.
+func TestDeltaDeterministicAcrossProcs(t *testing.T) {
+	region := geom.Square(100)
+	f := field.Peaks(region)
+	rng := rand.New(rand.NewSource(9))
+	tin := NewTIN(region)
+	for _, c := range region.Corners() {
+		if err := tin.Add(field.Sample{Pos: c, Z: f.Eval(c)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+		if err := tin.Add(field.Sample{Pos: p, Z: f.Eval(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := withGOMAXPROCS(t, []int{1, 2, 8}, func() float64 {
+		return Delta(f, tin, 75)
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Errorf("Delta at GOMAXPROCS variant %d = %v, want %v (bit-identical)", i, got[i], got[0])
+		}
+	}
+}
+
+// TestLocalErrorGridDeterministicAcrossProcs checks the parallel reference
+// fill and Update produce identical lattices at any GOMAXPROCS.
+func TestLocalErrorGridDeterministicAcrossProcs(t *testing.T) {
+	region := geom.Square(100)
+	f := field.Peaks(region)
+	tin := NewTIN(region)
+	rng := rand.New(rand.NewSource(21))
+	for _, c := range region.Corners() {
+		if err := tin.Add(field.Sample{Pos: c, Z: f.Eval(c)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+		if err := tin.Add(field.Sample{Pos: p, Z: f.Eval(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const gridN = 50
+	grids := make([]*LocalErrorGrid, 0, 3)
+	withGOMAXPROCS(t, []int{1, 2, 8}, func() float64 {
+		g := NewLocalErrorGrid(f, gridN)
+		g.Update(tin)
+		grids = append(grids, g)
+		return 0
+	})
+	for v := 1; v < len(grids); v++ {
+		for i := 0; i <= gridN; i++ {
+			for j := 0; j <= gridN; j++ {
+				if grids[v].Err(i, j) != grids[0].Err(i, j) {
+					t.Fatalf("variant %d node (%d,%d): %v != %v",
+						v, i, j, grids[v].Err(i, j), grids[0].Err(i, j))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package surface
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+// TestUpdateRegionMatchesFullUpdate grows a TIN point by point, refreshing
+// one grid with the reported dirty region and a twin grid with a full
+// recompute. The two must stay bit-identical: the dirty region is an exact
+// bound on the lattice points whose covering triangle changed.
+func TestUpdateRegionMatchesFullUpdate(t *testing.T) {
+	region := geom.Square(100)
+	f := field.Peaks(region)
+	const gridN = 40
+
+	tin := NewTIN(region)
+	for _, c := range region.Corners() {
+		if err := tin.Add(field.Sample{Pos: c, Z: f.Eval(c)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc := NewLocalErrorGrid(f, gridN)
+	full := NewLocalErrorGrid(f, gridN)
+	inc.Update(tin)
+	full.Update(tin)
+
+	rng := rand.New(rand.NewSource(17))
+	for step := 0; step < 120; step++ {
+		// Mix lattice-aligned points (FRA's candidates, rife with on-edge
+		// and on-vertex geometry) with arbitrary positions.
+		var p geom.Vec2
+		if step%2 == 0 {
+			p = geom.V2(float64(rng.Intn(101)), float64(rng.Intn(101)))
+		} else {
+			p = geom.V2(rng.Float64()*100, rng.Float64()*100)
+		}
+		dirty, exact, err := tin.AddDirty(field.Sample{Pos: p, Z: f.Eval(p)})
+		if err != nil {
+			continue // duplicate position
+		}
+		if !exact {
+			t.Fatalf("step %d: corners pre-seeded, every insert must be exact", step)
+		}
+		inc.UpdateRegion(tin, dirty)
+		full.Update(tin)
+		for i := 0; i <= gridN; i++ {
+			for j := 0; j <= gridN; j++ {
+				if ig, fg := inc.Err(i, j), full.Err(i, j); ig != fg {
+					t.Fatalf("step %d p=%v node(%d,%d): incremental %v != full %v",
+						step, p, i, j, ig, fg)
+				}
+			}
+		}
+	}
+}
+
+// TestAddDirtyExactFlag verifies exact=false until all four region corners
+// are present before the insertion: without full-hull coverage, the
+// nearest-vertex fallback can change grid cells far outside the cavity.
+func TestAddDirtyExactFlag(t *testing.T) {
+	region := geom.Square(100)
+	f := field.Peaks(region)
+	tin := NewTIN(region)
+	corners := region.Corners()
+	for i, c := range corners {
+		_, exact, err := tin.AddDirty(field.Sample{Pos: c, Z: f.Eval(c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact {
+			t.Errorf("corner %d: exact=true before full corner coverage", i)
+		}
+	}
+	_, exact, err := tin.AddDirty(field.Sample{Pos: geom.V2(50, 50), Z: f.Eval(geom.V2(50, 50))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Error("insert after corner coverage must be exact")
+	}
+}
+
+func TestArgMaxEmptyGrid(t *testing.T) {
+	var g LocalErrorGrid
+	i, j, e := g.ArgMax()
+	if i != -1 || j != -1 || e != 0 {
+		t.Errorf("ArgMax on zero grid = (%d,%d,%v), want (-1,-1,0)", i, j, e)
+	}
+}
+
+// TestLocatorConcurrentReads drives many goroutines through independent
+// Locators over one shared TIN. Run under -race this proves read-only
+// queries never write shared triangulation state; it also checks every
+// locator agrees with the TIN's own evaluation.
+func TestLocatorConcurrentReads(t *testing.T) {
+	region := geom.Square(100)
+	f := field.Peaks(region)
+	tin := NewTIN(region)
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range region.Corners() {
+		if err := tin.Add(field.Sample{Pos: c, Z: f.Eval(c)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+		if err := tin.Add(field.Sample{Pos: p, Z: f.Eval(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := make([]geom.Vec2, 500)
+	want := make([]float64, len(queries))
+	for i := range queries {
+		queries[i] = geom.V2(rng.Float64()*100, rng.Float64()*100)
+		want[i] = tin.Eval(queries[i])
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			loc := tin.NewLocator()
+			// Each worker walks the queries from a different offset so the
+			// private cursors take different paths through the mesh.
+			for i := range queries {
+				q := (i + w*61) % len(queries)
+				if got := loc.Eval(queries[q]); got != want[q] {
+					t.Errorf("worker %d: Eval(%v) = %v, want %v", w, queries[q], got, want[q])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

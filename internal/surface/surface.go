@@ -12,6 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/delaunay"
 	"repro/internal/field"
@@ -28,12 +31,17 @@ var ErrNoData = errors.New("surface: no samples")
 // convex hull.
 type TIN struct {
 	tri *delaunay.Triangulation
-	z   map[int]float64 // vertex ID -> sampled value
+	z   []float64 // vertex ID -> sampled value (dense; super slots unused)
+	// corners is a bitmask of the region corners present among the
+	// samples. With all four corners anchored the convex hull equals the
+	// region rectangle, so every in-bounds query resolves by triangle
+	// interpolation — the precondition for trusting dirty-region updates.
+	corners int
 }
 
 // NewTIN returns an empty TIN over the given region.
 func NewTIN(region geom.Rect) *TIN {
-	return &TIN{tri: delaunay.New(region), z: make(map[int]float64)}
+	return &TIN{tri: delaunay.New(region)}
 }
 
 // FromSamples builds a TIN from a sample set. Duplicate positions keep the
@@ -54,12 +62,35 @@ func FromSamples(region geom.Rect, samples []field.Sample) (*TIN, error) {
 // Add inserts one sample. Duplicates return delaunay.ErrDuplicate and keep
 // the existing value.
 func (t *TIN) Add(s field.Sample) error {
-	id, err := t.tri.Insert(s.Pos)
+	_, _, err := t.AddDirty(s)
+	return err
+}
+
+// AddDirty inserts one sample and reports the region whose reconstructed
+// values the insertion invalidated. When exact is true, every point whose
+// Eval result changed lies inside dirty (the retriangulated cavity's
+// bounding box), so derived state such as FRA's local-error lattice can be
+// refreshed incrementally. exact requires all four region corners to have
+// been present *before* this insertion: without them, some in-bounds
+// queries resolve by the nearest-sample fallback, whose answer can change
+// anywhere when a sample is added. Duplicates return delaunay.ErrDuplicate
+// with a zero dirty region.
+func (t *TIN) AddDirty(s field.Sample) (dirty geom.Rect, exact bool, err error) {
+	covered := t.corners == 0b1111
+	id, d, err := t.tri.InsertDirty(s.Pos)
 	if err != nil {
-		return err
+		return geom.Rect{}, false, err
+	}
+	for len(t.z) <= id {
+		t.z = append(t.z, 0)
 	}
 	t.z[id] = s.Z
-	return nil
+	for ci, c := range t.tri.Bounds().Corners() {
+		if s.Pos == c {
+			t.corners |= 1 << ci
+		}
+	}
+	return d.Region, covered, nil
 }
 
 // NumSamples returns the number of distinct sample positions.
@@ -84,14 +115,91 @@ func (t *TIN) EvalChecked(p geom.Vec2) (float64, bool) { return t.eval(p) }
 
 func (t *TIN) eval(p geom.Vec2) (float64, bool) {
 	if v, ok := t.tri.Find(p); ok {
-		a, b, c := t.tri.Point(v[0]), t.tri.Point(v[1]), t.tri.Point(v[2])
-		wa, wb, wc, ok := geom.Barycentric(a, b, c, p)
-		if ok {
-			return wa*t.z[v[0]] + wb*t.z[v[1]] + wc*t.z[v[2]], true
+		if z, ok := t.interpTriangle(v, p); ok {
+			return z, true
 		}
 	}
 	if id := t.tri.NearestVertex(p); id >= 0 {
 		return t.z[id], false
+	}
+	return 0, false
+}
+
+// interpTriangle interpolates p over the triangle with vertex IDs v. A
+// query exactly on a vertex or an edge is contained in more than one
+// triangle and point location may legitimately return any of them, so
+// those cases are resolved in a way that depends only on the shared
+// feature — the vertex's sample value, or 1-D interpolation along the
+// edge with endpoints taken in vertex-ID order — making evaluation
+// bit-identical regardless of the walk path that found the triangle.
+// That determinism is what lets parallel and incremental re-evaluation
+// reproduce the serial full-scan results exactly.
+func (t *TIN) interpTriangle(v [3]int, p geom.Vec2) (float64, bool) {
+	a, b, c := t.tri.Point(v[0]), t.tri.Point(v[1]), t.tri.Point(v[2])
+	if p == a {
+		return t.z[v[0]], true
+	}
+	if p == b {
+		return t.z[v[1]], true
+	}
+	if p == c {
+		return t.z[v[2]], true
+	}
+	for _, e := range [3][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		i, j := v[e[0]], v[e[1]]
+		pi, pj := t.tri.Point(i), t.tri.Point(j)
+		if geom.Orient2D(pi, pj, p) != geom.Collinear {
+			continue
+		}
+		if j < i {
+			i, j = j, i
+			pi, pj = pj, pi
+		}
+		d2 := pi.Dist2(pj)
+		if d2 == 0 {
+			break
+		}
+		s := p.Sub(pi).Dot(pj.Sub(pi)) / d2
+		return t.z[i] + s*(t.z[j]-t.z[i]), true
+	}
+	wa, wb, wc, ok := geom.Barycentric(a, b, c, p)
+	if !ok {
+		return 0, false
+	}
+	return wa*t.z[v[0]] + wb*t.z[v[1]] + wc*t.z[v[2]], true
+}
+
+// Locator is a per-goroutine evaluation cursor over a TIN. TIN.Eval warm-
+// starts its point-location walk from a cursor shared by all callers; a
+// Locator owns a private cursor instead, so concurrent goroutines can
+// evaluate the same (quiescent) TIN without contention, and spatially
+// coherent scans keep their near-O(1) walks. Queries must not run
+// concurrently with Add.
+type Locator struct {
+	t   *TIN
+	loc *delaunay.Locator
+}
+
+// NewLocator returns a fresh evaluation cursor over the TIN.
+func (t *TIN) NewLocator() *Locator {
+	return &Locator{t: t, loc: t.tri.NewLocator()}
+}
+
+// Eval is TIN.Eval through this cursor.
+func (l *Locator) Eval(p geom.Vec2) float64 {
+	z, _ := l.EvalChecked(p)
+	return z
+}
+
+// EvalChecked is TIN.EvalChecked through this cursor.
+func (l *Locator) EvalChecked(p geom.Vec2) (float64, bool) {
+	if v, ok := l.loc.Find(p); ok {
+		if z, ok := l.t.interpTriangle(v, p); ok {
+			return z, true
+		}
+	}
+	if id := l.t.tri.NearestVertex(p); id >= 0 {
+		return l.t.z[id], false
 	}
 	return 0, false
 }
@@ -129,10 +237,64 @@ func (t *TIN) Triangles() [][3]geom.Vec2 {
 	return out
 }
 
+// bandRows is the number of lattice rows per work band. Bands are a fixed
+// function of the row count — never of the worker count — so the
+// assignment of rows to evaluation cursors, and therefore every computed
+// bit, is identical at GOMAXPROCS=1 and GOMAXPROCS=N.
+const bandRows = 8
+
+// runBands partitions rows [0, rows) into fixed-size bands and runs
+// process(lo, hi) for each, fanning the bands out over a worker pool of up
+// to runtime.GOMAXPROCS(0) goroutines. process must touch only state owned
+// by its rows (plus whatever per-band cursors it creates itself); bands may
+// execute in any order and concurrently.
+func runBands(rows int, process func(lo, hi int)) {
+	bands := (rows + bandRows - 1) / bandRows
+	workers := runtime.GOMAXPROCS(0)
+	if workers > bands {
+		workers = bands
+	}
+	if workers <= 1 {
+		for b := 0; b < bands; b++ {
+			process(b*bandRows, min(rows, (b+1)*bandRows))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= bands {
+					return
+				}
+				process(b*bandRows, min(rows, (b+1)*bandRows))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalFn returns a fresh evaluation closure for f, suitable for exclusive
+// use by one band: a TIN hands out a private Locator cursor; every other
+// field.Field is safe for concurrent use by contract and evaluates
+// directly.
+func evalFn(f field.Field) func(geom.Vec2) float64 {
+	if t, ok := f.(*TIN); ok {
+		return t.NewLocator().Eval
+	}
+	return f.Eval
+}
+
 // Delta computes the paper's δ between a reference field f and an
 // approximation g over f's bounds, integrating |f − g| on an n-division
 // lattice with the midpoint rule. Typical n for the 100×100 region is 100
-// (one-meter cells, mirroring the paper's √A × √A lattice).
+// (one-meter cells, mirroring the paper's √A × √A lattice). Lattice rows
+// are evaluated by a bounded worker pool; per-row sums are accumulated in
+// a fixed order, so the result is bit-identical for any GOMAXPROCS.
 func Delta(f field.Field, g field.Field, n int) float64 {
 	if n < 1 {
 		n = 1
@@ -140,12 +302,21 @@ func Delta(f field.Field, g field.Field, n int) float64 {
 	r := f.Bounds()
 	dx := r.Width() / float64(n)
 	dy := r.Height() / float64(n)
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			p := geom.V2(r.Min.X+dx*(float64(i)+0.5), r.Min.Y+dy*(float64(j)+0.5))
-			sum += math.Abs(f.Eval(p) - g.Eval(p))
+	rowSum := make([]float64, n)
+	runBands(n, func(lo, hi int) {
+		fe, ge := evalFn(f), evalFn(g)
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				p := geom.V2(r.Min.X+dx*(float64(i)+0.5), r.Min.Y+dy*(float64(j)+0.5))
+				s += math.Abs(fe(p) - ge(p))
+			}
+			rowSum[i] = s
 		}
+	})
+	sum := 0.0
+	for _, s := range rowSum {
+		sum += s
 	}
 	return sum * dx * dy
 }
@@ -182,11 +353,14 @@ func NewLocalErrorGrid(f field.Field, n int) *LocalErrorGrid {
 		ref:    make([]float64, (n+1)*(n+1)),
 		err:    make([]float64, (n+1)*(n+1)),
 	}
-	for i := 0; i <= n; i++ {
-		for j := 0; j <= n; j++ {
-			g.ref[g.idx(i, j)] = f.Eval(g.Pos(i, j))
+	runBands(n+1, func(lo, hi int) {
+		fe := evalFn(f)
+		for i := lo; i < hi; i++ {
+			for j := 0; j <= n; j++ {
+				g.ref[g.idx(i, j)] = fe(g.Pos(i, j))
+			}
 		}
-	}
+	})
 	return g
 }
 
@@ -211,19 +385,66 @@ func (g *LocalErrorGrid) idx(i, j int) int { return i*(g.n+1) + j }
 
 // Update recomputes every local error against the given reconstruction
 // (paper FRA line 11: update(Err) after new triangles are generated).
+// Lattice rows are refreshed by a bounded worker pool, one evaluation
+// cursor per band; results are bit-identical for any GOMAXPROCS.
 func (g *LocalErrorGrid) Update(t *TIN) {
-	for i := 0; i <= g.n; i++ {
-		for j := 0; j <= g.n; j++ {
+	runBands(g.n+1, func(lo, hi int) {
+		le := t.NewLocator()
+		for i := lo; i < hi; i++ {
+			for j := 0; j <= g.n; j++ {
+				k := g.idx(i, j)
+				g.err[k] = math.Abs(g.ref[k] - le.Eval(g.Pos(i, j)))
+			}
+		}
+	})
+}
+
+// UpdateRegion recomputes the local errors of only those lattice nodes
+// inside (or within one lattice step of) r — the dirty-region counterpart
+// of Update for incremental refinement: after TIN.AddDirty reports an
+// exact dirty rectangle, the per-insertion cost drops from O(n²) lattice
+// evaluations to O(|cavity|). Nodes outside r keep their stored errors,
+// which is sound exactly when no point outside r changed its Eval result.
+func (g *LocalErrorGrid) UpdateRegion(t *TIN, r geom.Rect) {
+	w, h := g.region.Width(), g.region.Height()
+	iLo, iHi, jLo, jHi := 0, g.n, 0, g.n
+	// Widen by one node on each side so boundary rounding can never
+	// exclude a node sitting exactly on the dirty rectangle's edge.
+	if w > 0 {
+		iLo = clampNode(int(math.Floor((r.Min.X-g.region.Min.X)/w*float64(g.n)))-1, g.n)
+		iHi = clampNode(int(math.Ceil((r.Max.X-g.region.Min.X)/w*float64(g.n)))+1, g.n)
+	}
+	if h > 0 {
+		jLo = clampNode(int(math.Floor((r.Min.Y-g.region.Min.Y)/h*float64(g.n)))-1, g.n)
+		jHi = clampNode(int(math.Ceil((r.Max.Y-g.region.Min.Y)/h*float64(g.n)))+1, g.n)
+	}
+	le := t.NewLocator()
+	for i := iLo; i <= iHi; i++ {
+		for j := jLo; j <= jHi; j++ {
 			k := g.idx(i, j)
-			g.err[k] = math.Abs(g.ref[k] - t.Eval(g.Pos(i, j)))
+			g.err[k] = math.Abs(g.ref[k] - le.Eval(g.Pos(i, j)))
 		}
 	}
 }
 
+func clampNode(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > n {
+		return n
+	}
+	return v
+}
+
 // ArgMax returns the lattice node with the maximum local error (FRA line
 // 9). Ties resolve to the smallest (i, j) in row-major order, keeping the
-// algorithm deterministic.
+// algorithm deterministic. A grid with no error lattice (the zero value)
+// returns the sentinel (-1, -1, 0) instead of panicking.
 func (g *LocalErrorGrid) ArgMax() (i, j int, err float64) {
+	if len(g.err) == 0 {
+		return -1, -1, 0
+	}
 	best := -1
 	for k, e := range g.err {
 		if best == -1 || e > g.err[best] {
