@@ -8,6 +8,8 @@
 //	ostd -slots 45 -csv        # same as CSV
 //	ostd -snap 0,25            # also render topology at those minutes
 //	ostd -concurrent -drop 0.2 # goroutine runtime with 20% message loss
+//	ostd -fault-rate 0.1       # run with 10% seeded failures injected
+//	ostd -fault-sweep 0,0.1,0.3 # δ-vs-failure-rate degradation table
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/geom"
 	"repro/internal/sim"
@@ -41,6 +44,9 @@ func main() {
 		snaps      = flag.String("snap", "", "comma-separated minutes at which to render topology")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-node runtime")
 		drop       = flag.Float64("drop", 0, "message drop probability (concurrent runtime only)")
+		faultRate  = flag.Float64("fault-rate", 0, "run-level failure rate injected via fault.Profile")
+		faultSweep = flag.String("fault-sweep", "", "comma-separated failure rates for the degradation sweep")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
 
@@ -52,6 +58,26 @@ func main() {
 	forest := field.NewForest(field.DefaultForestConfig())
 	init := field.GridLayout(forest.Bounds(), *k)
 
+	if *faultSweep != "" {
+		rates, err := parseRates(*faultSweep)
+		if err != nil {
+			log.Fatalf("bad -fault-sweep: %v", err)
+		}
+		rows, err := eval.DegradationSweep(forest, *k, *slots, *deltaN, rates, *faultSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			err = eval.WriteDegradationCSV(os.Stdout, rows)
+		} else {
+			err = eval.WriteDegradationTable(os.Stdout, rows)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *concurrent {
 		runConcurrent(forest, init, *slots, *deltaN, *beta, *noise, *seed, *drop, snapAt)
 		return
@@ -61,6 +87,10 @@ func main() {
 	opts.Config.Beta = *beta
 	opts.NoiseStd = *noise
 	opts.Seed = *seed
+	if *faultRate > 0 {
+		opts.Config.RobustFit = true
+		opts.Faults = fault.NewInjector(*k, fault.Profile(*faultRate, *slots, *faultSeed))
+	}
 	w, err := sim.NewWorld(forest, init, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -160,6 +190,21 @@ func maybeSnap(region geom.Rect, nodes []geom.Vec2, t float64, rc float64, at ma
 		log.Fatal(err)
 	}
 	fmt.Println()
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("rate %v outside [0,1]", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseSnaps(s string) (map[float64]bool, error) {

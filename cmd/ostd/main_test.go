@@ -20,3 +20,16 @@ func TestParseSnaps(t *testing.T) {
 		t.Error("want error for bad float")
 	}
 }
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("0, 0.1,0.3")
+	if err != nil || len(got) != 3 || got[1] != 0.1 {
+		t.Errorf("parseRates: %v, %v", got, err)
+	}
+	if _, err := parseRates("0,x"); err == nil {
+		t.Error("want error for bad float")
+	}
+	if _, err := parseRates("1.5"); err == nil {
+		t.Error("want error for out-of-range rate")
+	}
+}

@@ -1,0 +1,112 @@
+// Faultyswarm: the OSTD swarm under seeded fault injection. 100 CMA nodes
+// track the forest-light field while the injector crashes nodes, drops
+// hello broadcasts through a bursty Gilbert–Elliott channel and corrupts
+// sensor readings — and the degradation machinery answers back: stale
+// neighbor reports decay out of the force terms, the robust (Huber)
+// curvature fit shrugs off outlier samples, and the collection tree is
+// repaired around dead vertices instead of being abandoned. The same seed
+// always reproduces the same failure story.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const k, slots = 100, 30
+	forest := repro.NewForest(repro.DefaultForestConfig())
+	initial := repro.GridLayout(forest.Bounds(), k)
+
+	// A 20% run-level failure rate, every channel scaled from one knob.
+	cfg := repro.FaultProfile(0.2, slots, 7)
+	inj := repro.NewFaultInjector(k, cfg)
+
+	opts := repro.DefaultWorldOptions()
+	opts.Config.RobustFit = true // Huber curvature fit for outlier samples
+	opts.Faults = inj
+	world, err := repro.NewWorld(forest, initial, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("injecting faults: crash %.3f/slot, link loss (GE good %.3f / bad %.2f), sense drop %.2f\n\n",
+		cfg.CrashProb, cfg.Link.LossGood, cfg.Link.LossBad, cfg.SenseDropProb)
+
+	// Maintain a collection tree across failures: repair around deaths,
+	// re-elect the sink if it dies.
+	tree, err := repro.BuildCollectionTree(world.Positions(), opts.Config.Rc, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repairs := 0
+
+	fmt.Println("t(min)  alive  moved  connected  repaired")
+	for slot := 0; slot < slots; slot++ {
+		st, err := world.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		down := make([]bool, k)
+		for i, up := range world.AliveMask() {
+			down[i] = !up
+		}
+		reparented := 0
+		if down[tree.Sink] {
+			// The sink died: elect the lowest alive node and rebuild. A
+			// PartialTreeError still carries the reachable side — keep it.
+			sink := 0
+			for down[sink] {
+				sink++
+			}
+			t2, err := repro.BuildCollectionTreeMasked(world.Positions(), opts.Config.Rc, sink, down)
+			if err != nil {
+				var pe *repro.PartialTreeError
+				if !errors.As(err, &pe) {
+					log.Fatal(err)
+				}
+				t2 = pe.Tree
+			}
+			tree = t2
+		} else if t2, _, n, err := repro.RepairCollectionTree(tree, world.Positions(), opts.Config.Rc, down); err == nil {
+			tree, reparented = t2, n
+			repairs += n
+		}
+		if (slot+1)%5 == 0 {
+			fmt.Printf("%5.0f  %5d  %5d  %9v  %8d\n",
+				st.T, st.Alive, st.Moved, world.Connected(), reparented)
+		}
+	}
+
+	fmt.Printf("\n%d nodes died, %d tree vertices re-parented across the run\n",
+		inj.Deaths(), repairs)
+	d, err := world.Delta(50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("δ from the %d survivors: %.1f\n", inj.AliveCount(), d)
+
+	fmt.Println("\nsurviving topology:")
+	if err := repro.RenderTopology(os.Stdout, forest.Bounds(), alivePositions(world), opts.Config.Rc, 72, 24); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// alivePositions filters the world's positions down to the alive nodes.
+func alivePositions(w *repro.World) []repro.Vec2 {
+	mask := w.AliveMask()
+	pos := w.Positions()
+	out := make([]repro.Vec2, 0, len(pos))
+	for i, p := range pos {
+		if mask[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

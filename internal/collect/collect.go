@@ -23,6 +23,35 @@ var ErrDisconnected = errors.New("collect: network does not reach the sink")
 // ErrBadSink is returned for an out-of-range sink index.
 var ErrBadSink = errors.New("collect: invalid sink")
 
+// ErrSinkDown is returned when a repair is asked to route around a failed
+// sink; no re-parenting can help, the caller must elect a new sink.
+var ErrSinkDown = errors.New("collect: sink failed")
+
+// PartialError is the typed error returned when some vertices cannot reach
+// the sink. It carries the partial tree covering every reachable vertex
+// plus the list of unreached ones, so callers can degrade — keep
+// collecting from the reachable side of a partitioned network — instead of
+// aborting. It unwraps to ErrDisconnected, preserving existing
+// errors.Is checks.
+type PartialError struct {
+	// Tree routes every reachable vertex to the sink; unreached vertices
+	// have Parent -1, Depth -1 and infinite Cost.
+	Tree *Tree
+	// Unreached lists the vertices with no route, ascending. With a node
+	// mask in play, failed vertices are excluded: they are down, not
+	// unreached.
+	Unreached []int
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("%v: %d vertices unreached (first: %d)",
+		ErrDisconnected, len(e.Unreached), e.Unreached[0])
+}
+
+// Unwrap makes errors.Is(err, ErrDisconnected) hold.
+func (e *PartialError) Unwrap() error { return ErrDisconnected }
+
 // Tree is a shortest-path collection tree rooted at a sink node.
 type Tree struct {
 	// Sink is the root vertex.
@@ -38,11 +67,24 @@ type Tree struct {
 
 // BuildTree computes the minimum-Euclidean-length routing tree to the sink
 // with Dijkstra over the unit-disk graph. Hop-count ties follow the lower
-// vertex index, keeping trees deterministic.
+// vertex index, keeping trees deterministic. When some vertices cannot
+// reach the sink it returns a nil tree and a *PartialError carrying the
+// partial tree and the unreached list, so callers can degrade instead of
+// abort; the error still satisfies errors.Is(err, ErrDisconnected).
 func BuildTree(g *graph.Graph, sink int) (*Tree, error) {
+	return BuildTreeMasked(g, sink, nil)
+}
+
+// BuildTreeMasked is BuildTree over the subgraph of vertices with down[v]
+// false: failed vertices neither route nor count as unreached. A nil mask
+// includes every vertex. A down sink yields ErrBadSink.
+func BuildTreeMasked(g *graph.Graph, sink int, down []bool) (*Tree, error) {
 	n := g.N()
 	if sink < 0 || sink >= n {
 		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadSink, sink, n)
+	}
+	if down != nil && down[sink] {
+		return nil, fmt.Errorf("%w: sink %d is down", ErrBadSink, sink)
 	}
 	t := &Tree{
 		Sink:   sink,
@@ -59,12 +101,33 @@ func BuildTree(g *graph.Graph, sink int) (*Tree, error) {
 	t.Depth[sink] = 0
 
 	pq := &costHeap{{v: sink, cost: 0}}
+	t.dijkstra(g, pq, down)
+	var unreached []int
+	for v := 0; v < n; v++ {
+		if (down == nil || !down[v]) && math.IsInf(t.Cost[v], 1) {
+			unreached = append(unreached, v)
+		}
+	}
+	if unreached != nil {
+		return nil, &PartialError{Tree: t, Unreached: unreached}
+	}
+	return t, nil
+}
+
+// dijkstra relaxes edges from the seeded heap until exhaustion, skipping
+// down vertices. Costs/parents/depths already set in t act as fixed
+// sources (multi-source when the heap holds several seeds).
+func (t *Tree) dijkstra(g *graph.Graph, pq *costHeap, down []bool) {
+	heap.Init(pq)
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(costItem)
 		if item.cost > t.Cost[item.v] {
 			continue // stale entry
 		}
 		for _, w := range g.Neighbors(item.v) {
+			if down != nil && down[w] {
+				continue
+			}
 			c := item.cost + g.Pos(item.v).Dist(g.Pos(w))
 			if c < t.Cost[w]-1e-15 {
 				t.Cost[w] = c
@@ -74,12 +137,101 @@ func BuildTree(g *graph.Graph, sink int) (*Tree, error) {
 			}
 		}
 	}
+}
+
+// Repair re-routes a collection tree around failed vertices: every vertex
+// whose path to the sink passes through a down vertex (an orphaned
+// subtree) is re-parented onto the cheapest surviving attachment point, by
+// multi-source Dijkstra growth from the intact region into the orphaned
+// one over g's current edges. Vertices that survive with their original
+// route keep it bit-for-bit — repair is local, not a rebuild. It returns
+// the repaired tree (t is not modified), the alive vertices that remain
+// unreachable (ascending), and the number of vertices successfully
+// re-parented. A down sink returns ErrSinkDown: no re-parenting can save
+// the epoch and the caller must elect a new sink.
+func (t *Tree) Repair(g *graph.Graph, down []bool) (repaired *Tree, orphans []int, reparented int, err error) {
+	n := len(t.Parent)
+	if down != nil && down[t.Sink] {
+		return nil, nil, 0, fmt.Errorf("%w: sink %d", ErrSinkDown, t.Sink)
+	}
+	// Classify: valid vertices keep an all-alive parent chain to the sink.
+	const (
+		unknown = iota
+		valid
+		invalid
+	)
+	state := make([]int8, n)
+	var classify func(v int) int8
+	classify = func(v int) int8 {
+		if state[v] != unknown {
+			return state[v]
+		}
+		switch {
+		case down != nil && down[v]:
+			state[v] = invalid
+		case v == t.Sink:
+			state[v] = valid
+		case t.Parent[v] < 0:
+			state[v] = invalid // was already unreached in t
+		default:
+			state[v] = classify(t.Parent[v])
+		}
+		return state[v]
+	}
 	for v := 0; v < n; v++ {
-		if math.IsInf(t.Cost[v], 1) {
-			return nil, fmt.Errorf("%w: vertex %d unreachable", ErrDisconnected, v)
+		classify(v)
+	}
+
+	repaired = &Tree{
+		Sink:   t.Sink,
+		Parent: append([]int(nil), t.Parent...),
+		Depth:  append([]int(nil), t.Depth...),
+		Cost:   append([]float64(nil), t.Cost...),
+	}
+	// Sever the orphaned region, then seed each orphan with its cheapest
+	// attachment to the intact region.
+	pq := &costHeap{}
+	frozen := make([]bool, n) // vertices Dijkstra must not touch
+	needRoute := 0
+	for v := 0; v < n; v++ {
+		if state[v] == valid {
+			frozen[v] = true
+			continue
+		}
+		repaired.Parent[v] = -1
+		repaired.Depth[v] = -1
+		repaired.Cost[v] = math.Inf(1)
+		if down != nil && down[v] {
+			frozen[v] = true // dead: no route, and no transit either
+			continue
+		}
+		needRoute++
+		for _, u := range g.Neighbors(v) {
+			if state[u] != valid {
+				continue
+			}
+			c := repaired.Cost[u] + g.Pos(u).Dist(g.Pos(v))
+			if c < repaired.Cost[v]-1e-15 {
+				repaired.Cost[v] = c
+				repaired.Parent[v] = u
+				repaired.Depth[v] = repaired.Depth[u] + 1
+			}
+		}
+		if repaired.Parent[v] >= 0 {
+			*pq = append(*pq, costItem{v: v, cost: repaired.Cost[v]})
 		}
 	}
-	return t, nil
+	repaired.dijkstra(g, pq, frozen)
+	for v := 0; v < n; v++ {
+		if state[v] == invalid && (down == nil || !down[v]) {
+			if math.IsInf(repaired.Cost[v], 1) {
+				orphans = append(orphans, v)
+			} else {
+				reparented++
+			}
+		}
+	}
+	return repaired, orphans, reparented, nil
 }
 
 type costItem struct {

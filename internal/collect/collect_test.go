@@ -170,3 +170,186 @@ func TestBestSinkCentersChain(t *testing.T) {
 		t.Error("want error for empty graph")
 	}
 }
+
+func TestBuildTreePartialError(t *testing.T) {
+	// Two clusters: {0,1} and {2}. BuildTree from 0 must fail typed, with
+	// a partial tree covering the reachable side and the unreached list.
+	pts := []geom.Vec2{geom.V2(0, 0), geom.V2(5, 0), geom.V2(100, 0)}
+	g := graph.NewUnitDisk(pts, 10)
+	tree, err := BuildTree(g, 0)
+	if tree != nil {
+		t.Fatal("disconnected build returned a non-nil tree")
+	}
+	if !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("want ErrDisconnected, got %v", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T does not unwrap to *PartialError", err)
+	}
+	if got := pe.Unreached; len(got) != 1 || got[0] != 2 {
+		t.Errorf("unreached = %v, want [2]", got)
+	}
+	if pe.Tree == nil || pe.Tree.Parent[1] != 0 || pe.Tree.Depth[1] != 1 {
+		t.Errorf("partial tree did not route the reachable side: %+v", pe.Tree)
+	}
+	if pe.Tree.Parent[2] != -1 || !math.IsInf(pe.Tree.Cost[2], 1) {
+		t.Errorf("unreached vertex has a route: parent=%d cost=%v", pe.Tree.Parent[2], pe.Tree.Cost[2])
+	}
+}
+
+func TestBuildTreeMasked(t *testing.T) {
+	// A 5-chain with the middle vertex down: only {0,1} are reachable from
+	// sink 0, {3,4} are unreached, 2 is down (not reported unreached).
+	g := chain(5, 8)
+	down := []bool{false, false, true, false, false}
+	tree, err := BuildTreeMasked(g, 0, down)
+	if tree != nil {
+		t.Fatal("partitioned build returned a non-nil tree")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if want := []int{3, 4}; len(pe.Unreached) != 2 || pe.Unreached[0] != 3 || pe.Unreached[1] != 4 {
+		t.Errorf("unreached = %v, want %v", pe.Unreached, want)
+	}
+	if pe.Tree.Parent[2] != -1 {
+		t.Error("down vertex was routed")
+	}
+	if pe.Tree.Parent[1] != 0 {
+		t.Error("alive reachable vertex not routed")
+	}
+	// Down sink is a sink error, not a disconnection.
+	if _, err := BuildTreeMasked(g, 2, down); !errors.Is(err, ErrBadSink) {
+		t.Errorf("down sink: want ErrBadSink, got %v", err)
+	}
+	// Nil mask behaves exactly like BuildTree.
+	full, err := BuildTreeMasked(g, 0, nil)
+	if err != nil || full.Depth[4] != 4 {
+		t.Errorf("nil mask build failed: %v %+v", err, full)
+	}
+}
+
+// gridGraph builds a 4x4 unit lattice with diagonal-free 4-adjacency.
+func gridGraph() *graph.Graph {
+	var pts []geom.Vec2
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			pts = append(pts, geom.V2(float64(x), float64(y)))
+		}
+	}
+	return graph.NewUnitDisk(pts, 1)
+}
+
+func TestRepairReparentsOrphanedSubtree(t *testing.T) {
+	// 4x4 grid, sink at corner 0. Kill vertex 1 (the sink's right-hand
+	// neighbor): its subtree must re-parent through surviving vertices,
+	// every alive vertex keeps a route, and untouched routes are
+	// preserved bit-for-bit.
+	g := gridGraph()
+	tree, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := make([]bool, 16)
+	down[1] = true
+	repaired, orphans, reparented, err := tree.Repair(g, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 0 {
+		t.Fatalf("orphans = %v, want none on a grid", orphans)
+	}
+	if reparented == 0 {
+		t.Fatal("killing an interior vertex re-parented nothing")
+	}
+	for v := 0; v < 16; v++ {
+		if down[v] {
+			if repaired.Parent[v] != -1 || repaired.Depth[v] != -1 {
+				t.Errorf("down vertex %d still routed", v)
+			}
+			continue
+		}
+		// Walk to the sink; the path must avoid down vertices.
+		seen := 0
+		for u := v; u != 0; u = repaired.Parent[u] {
+			if repaired.Parent[u] < 0 || down[repaired.Parent[u]] && repaired.Parent[u] != 0 {
+				t.Fatalf("vertex %d: broken route at %d", v, u)
+			}
+			if down[u] {
+				t.Fatalf("vertex %d routes through dead %d", v, u)
+			}
+			if seen++; seen > 16 {
+				t.Fatalf("vertex %d: routing loop", v)
+			}
+		}
+		// Vertices whose old route avoided vertex 1 keep it untouched.
+		usedDead := false
+		for u := v; u != 0; u = tree.Parent[u] {
+			if down[u] {
+				usedDead = true
+				break
+			}
+		}
+		if !usedDead && (repaired.Parent[v] != tree.Parent[v] || repaired.Cost[v] != tree.Cost[v]) {
+			t.Errorf("intact vertex %d was rerouted: parent %d→%d", v, tree.Parent[v], repaired.Parent[v])
+		}
+	}
+}
+
+func TestRepairReportsTrueOrphans(t *testing.T) {
+	// A chain 0-1-2-3-4: killing 2 strands {3,4} with no detour.
+	g := chain(5, 8)
+	tree, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := make([]bool, 5)
+	down[2] = true
+	repaired, orphans, reparented, err := tree.Repair(g, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 2 || orphans[0] != 3 || orphans[1] != 4 {
+		t.Errorf("orphans = %v, want [3 4]", orphans)
+	}
+	if reparented != 0 {
+		t.Errorf("reparented = %d, want 0", reparented)
+	}
+	if repaired.Parent[1] != 0 {
+		t.Error("intact prefix was disturbed")
+	}
+	if !math.IsInf(repaired.Cost[4], 1) {
+		t.Error("orphan kept a finite cost")
+	}
+}
+
+func TestRepairSinkDown(t *testing.T) {
+	g := chain(3, 5)
+	tree, err := BuildTree(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := []bool{false, true, false}
+	if _, _, _, err := tree.Repair(g, down); !errors.Is(err, ErrSinkDown) {
+		t.Errorf("want ErrSinkDown, got %v", err)
+	}
+}
+
+func TestRepairNoFailuresIsIdentity(t *testing.T) {
+	g := gridGraph()
+	tree, err := BuildTree(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, orphans, reparented, err := tree.Repair(g, make([]bool, 16))
+	if err != nil || len(orphans) != 0 || reparented != 0 {
+		t.Fatalf("no-failure repair: orphans=%v reparented=%d err=%v", orphans, reparented, err)
+	}
+	for v := 0; v < 16; v++ {
+		if repaired.Parent[v] != tree.Parent[v] || repaired.Cost[v] != tree.Cost[v] || repaired.Depth[v] != tree.Depth[v] {
+			t.Fatalf("vertex %d changed without failures", v)
+		}
+	}
+}

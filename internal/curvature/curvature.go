@@ -26,10 +26,13 @@ type Method int
 
 // Least-squares backends. QR is the default and the numerically robust
 // choice; Normal solves the normal equations and exists as the ablation
-// comparator (DESIGN.md §5).
+// comparator (DESIGN.md §5). Huber fits with Huber-weighted IRLS so a few
+// outlier samples (sensing faults, radio spikes) cannot hijack the
+// curvature estimate — the degraded-mode backend of DESIGN.md §7.
 const (
 	QR Method = iota
 	Normal
+	Huber
 )
 
 // Estimate is a fitted local surface patch around a center position.
@@ -94,10 +97,14 @@ func Fit(origin geom.Vec2, samples []field.Sample, method Method) (Estimate, err
 }
 
 func solve(a *linalg.Matrix, b []float64, method Method) ([]float64, error) {
-	if method == Normal {
+	switch method {
+	case Normal:
 		return linalg.LeastSquaresNormal(a, b)
+	case Huber:
+		return linalg.LeastSquaresHuber(a, b, 0, 0)
+	default:
+		return linalg.LeastSquares(a, b)
 	}
-	return linalg.LeastSquares(a, b)
 }
 
 // FitNearest fits using only the m samples nearest to origin — the

@@ -205,3 +205,52 @@ func TestGridMapEvalClamps(t *testing.T) {
 	_ = m.Eval(geom.V2(-5, -5))
 	_ = m.Eval(geom.V2(50, 50))
 }
+
+func TestFitHuberResistsOutlierSamples(t *testing.T) {
+	// A clean bowl with two grossly corrupted samples (stuck sensor / radio
+	// spike): the QR fit's curvature is dragged far off, the Huber fit must
+	// stay close to the true value — the degraded-sensing mode of
+	// DESIGN.md §7.
+	f := field.Quadratic(geom.Square(100), 0.5, 0, 0.5)
+	center := geom.V2(50, 50)
+	samples := discSamples(f, center, 5)
+	samples[3].Z += 500
+	samples[len(samples)-4].Z -= 300
+
+	clean, err := Fit(center, discSamples(f, center, 5), QR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyQR, err := Fit(center, samples, QR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyHuber, err := Fit(center, samples, Huber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errQR := math.Abs(dirtyQR.Gaussian - clean.Gaussian)
+	errHuber := math.Abs(dirtyHuber.Gaussian - clean.Gaussian)
+	if errHuber > 0.1*math.Abs(clean.Gaussian) {
+		t.Errorf("huber G = %v, want within 10%% of clean %v", dirtyHuber.Gaussian, clean.Gaussian)
+	}
+	if errHuber >= errQR {
+		t.Errorf("huber error %v not below QR error %v under outliers", errHuber, errQR)
+	}
+}
+
+func TestFitHuberMatchesQROnCleanSamples(t *testing.T) {
+	f := field.Quadratic(geom.Square(100), 0.25, -0.5, 0.75)
+	center := geom.V2(50, 50)
+	qr, err := Fit(center, discSamples(f, center, 5), QR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := Fit(center, discSamples(f, center, 5), Huber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qr.Gaussian-hub.Gaussian) > 1e-8 {
+		t.Errorf("clean data: huber G %v deviates from QR G %v", hub.Gaussian, qr.Gaussian)
+	}
+}

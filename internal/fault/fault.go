@@ -1,0 +1,415 @@
+// Package fault is the deterministic fault-injection engine for the OSTD
+// experiments. Real CPS nodes crash, drain batteries and drop radio
+// messages; the paper's deployment premise — k nodes keeping a connected
+// G(V,E) while tracking the field — only matters if it survives those
+// failure modes. The Injector models them all from a single seed:
+//
+//   - crash-stop and crash-recover node failures (per-slot Bernoulli
+//     draws, plus an explicit deterministic Schedule for tests),
+//   - battery depletion driven by the movement and radio energy models
+//     (a node whose charge reaches zero dies permanently),
+//   - per-link Gilbert–Elliott message loss on the (position, G)
+//     neighbor exchange — bursty, as real radios are,
+//   - sensing faults: per-sample dropouts and Gaussian outlier spikes.
+//
+// Every decision is bit-reproducible from Config.Seed: each node and each
+// link owns an independent splitmix-derived RNG stream, so the schedule a
+// given entity experiences never depends on how many other entities exist
+// or in which order they are queried within a slot. The engine plugs into
+// sim.World via Options.Faults; a zero Config is inert and provably leaves
+// the simulation bit-identical to a fault-free run.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/field"
+)
+
+// Sample aliases field.Sample, the sensed-reading type the sensing fault
+// channel corrupts.
+type Sample = field.Sample
+
+// GilbertElliott parameterizes the classic two-state burst-loss channel:
+// a link is either in a Good or a Bad state, transitions between them once
+// per slot, and drops each delivery with the state's loss probability.
+type GilbertElliott struct {
+	// PGoodToBad is the per-slot probability of entering the Bad state.
+	PGoodToBad float64
+	// PBadToGood is the per-slot probability of leaving the Bad state.
+	PBadToGood float64
+	// LossGood is the delivery loss probability in the Good state.
+	LossGood float64
+	// LossBad is the delivery loss probability in the Bad state.
+	LossBad float64
+}
+
+// Enabled reports whether the channel can ever lose a message.
+func (ge GilbertElliott) Enabled() bool {
+	return ge.LossGood > 0 || (ge.LossBad > 0 && ge.PGoodToBad > 0)
+}
+
+// Event is one entry of a deterministic fault schedule.
+type Event struct {
+	// Slot is the time slot at which the event fires.
+	Slot int
+	// Node is the affected node index.
+	Node int
+	// Up revives the node when true; kills it when false.
+	Up bool
+}
+
+// Config parameterizes an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed drives every random fault decision.
+	Seed int64
+	// CrashProb is the per-slot probability that an alive node crashes.
+	CrashProb float64
+	// RecoverProb is the per-slot probability that a randomly crashed
+	// node comes back; zero means crash-stop. Battery deaths never
+	// recover.
+	RecoverProb float64
+	// Schedule lists deterministic kill/revive events, applied in slot
+	// order (and, within a slot, in list order) before the random draws.
+	Schedule []Event
+	// BatteryCapacity is each node's energy budget in the simulator's
+	// units (meters of movement; radio joules under the d² model are
+	// converted by the caller). Zero disables battery accounting.
+	BatteryCapacity float64
+	// HelloCost is the per-slot radio energy an alive node spends on its
+	// hello broadcast — Rc² under the collect package's d² path-loss
+	// model when transmitting at full communication range. Only charged
+	// when BatteryCapacity > 0.
+	HelloCost float64
+	// Link is the Gilbert–Elliott loss model applied independently to
+	// every undirected link's channel state (deliveries in the two
+	// directions draw separately from the shared state).
+	Link GilbertElliott
+	// SenseDropProb is the per-sample probability that a sensed reading
+	// is lost entirely.
+	SenseDropProb float64
+	// SenseOutlierProb is the per-sample probability that a reading is
+	// corrupted by an additive Gaussian spike.
+	SenseOutlierProb float64
+	// SenseOutlierStd is the standard deviation of the outlier spikes.
+	SenseOutlierStd float64
+	// StaleSlots is how many slots a node keeps using a silent neighbor's
+	// last report before presuming it dead and dropping it from the
+	// F2/LCM terms; 0 defaults to 3.
+	StaleSlots int
+	// StaleDecay is the per-slot-of-age exponential factor applied to a
+	// stale neighbor's force contributions; 0 defaults to 0.5.
+	StaleDecay float64
+}
+
+// Active reports whether the configuration can perturb a run at all.
+// sim.World uses it to keep the fault-free fast path bit-identical.
+func (c Config) Active() bool {
+	return c.CrashProb > 0 || c.RecoverProb > 0 || len(c.Schedule) > 0 ||
+		c.BatteryCapacity > 0 || c.Link.Enabled() ||
+		c.SenseDropProb > 0 || c.SenseOutlierProb > 0
+}
+
+// Profile returns a Config in which a single failure-rate knob scales
+// every fault channel: rate is the expected fraction of nodes that crash
+// over a run of the given number of slots (converted to the equivalent
+// per-slot Bernoulli probability), link loss burstiness, sensing dropouts
+// and outliers all grow proportionally. rate 0 yields an inert config, so
+// a Profile(0, …) run is bit-identical to a fault-free one.
+func Profile(rate float64, slots int, seed int64) Config {
+	if rate <= 0 || slots <= 0 {
+		return Config{Seed: seed}
+	}
+	if rate > 0.95 {
+		rate = 0.95
+	}
+	return Config{
+		Seed:      seed,
+		CrashProb: 1 - math.Pow(1-rate, 1/float64(slots)),
+		Link: GilbertElliott{
+			PGoodToBad: 0.2 * rate,
+			PBadToGood: 0.4,
+			LossGood:   0.02 * rate,
+			LossBad:    0.6,
+		},
+		SenseDropProb:    0.3 * rate,
+		SenseOutlierProb: 0.1 * rate,
+		SenseOutlierStd:  4,
+	}
+}
+
+// cause records why a node is down.
+type cause uint8
+
+const (
+	upNode cause = iota
+	crashRandom
+	crashScheduled
+	crashBattery
+)
+
+// geChain is one undirected link's channel state.
+type geChain struct {
+	rng  *rand.Rand
+	slot int // last slot the state was advanced to
+	bad  bool
+}
+
+// Injector holds the fault state of one simulated world. It is not safe
+// for concurrent use; attach each instance to exactly one world.
+type Injector struct {
+	cfg    Config
+	n      int
+	down   []cause
+	charge []float64
+	deaths int
+
+	crashRNG []*rand.Rand // lazily built per-node crash/recover streams
+	senseRNG []*rand.Rand // lazily built per-node sensing-fault streams
+	links    map[int64]*geChain
+	lastSlot int
+}
+
+// NewInjector returns an injector for n nodes.
+func NewInjector(n int, cfg Config) *Injector {
+	if cfg.StaleSlots == 0 {
+		cfg.StaleSlots = 3
+	}
+	if cfg.StaleDecay <= 0 || cfg.StaleDecay > 1 {
+		cfg.StaleDecay = 0.5
+	}
+	in := &Injector{
+		cfg:      cfg,
+		n:        n,
+		down:     make([]cause, n),
+		crashRNG: make([]*rand.Rand, n),
+		senseRNG: make([]*rand.Rand, n),
+		links:    make(map[int64]*geChain),
+		lastSlot: -1,
+	}
+	if cfg.BatteryCapacity > 0 {
+		in.charge = make([]float64, n)
+		for i := range in.charge {
+			in.charge[i] = cfg.BatteryCapacity
+		}
+	}
+	return in
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to derive independent
+// per-entity sub-seeds from the master seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (in *Injector) subRNG(tag, id uint64) *rand.Rand {
+	s := splitmix64(uint64(in.cfg.Seed) ^ splitmix64(tag^splitmix64(id)))
+	return rand.New(rand.NewSource(int64(s)))
+}
+
+const (
+	tagCrash = 0xC7A5
+	tagSense = 0x5E45
+	tagLink  = 0x119C
+)
+
+// N returns the node count the injector was built for.
+func (in *Injector) N() int { return in.n }
+
+// Config returns the (default-filled) configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Active reports whether the injector can perturb the run; see
+// Config.Active.
+func (in *Injector) Active() bool { return in.cfg.Active() }
+
+// StaleSlots returns the neighbor staleness timeout in slots.
+func (in *Injector) StaleSlots() int { return in.cfg.StaleSlots }
+
+// StaleDecay returns the per-slot exponential decay of stale neighbors.
+func (in *Injector) StaleDecay() float64 { return in.cfg.StaleDecay }
+
+// Alive reports whether node i is up.
+func (in *Injector) Alive(i int) bool { return in.down[i] == upNode }
+
+// AliveMask appends the current aliveness of every node to dst (reusing
+// its capacity) and returns it.
+func (in *Injector) AliveMask(dst []bool) []bool {
+	dst = dst[:0]
+	for i := range in.down {
+		dst = append(dst, in.down[i] == upNode)
+	}
+	return dst
+}
+
+// AliveCount returns the number of alive nodes.
+func (in *Injector) AliveCount() int {
+	c := 0
+	for i := range in.down {
+		if in.down[i] == upNode {
+			c++
+		}
+	}
+	return c
+}
+
+// Deaths returns the cumulative number of node deaths (recoveries do not
+// subtract).
+func (in *Injector) Deaths() int { return in.deaths }
+
+// Battery returns node i's remaining charge, or +Inf when battery
+// accounting is disabled.
+func (in *Injector) Battery(i int) float64 {
+	if in.charge == nil {
+		return math.Inf(1)
+	}
+	return in.charge[i]
+}
+
+func (in *Injector) kill(i int, why cause) {
+	if in.down[i] != upNode {
+		return
+	}
+	in.down[i] = why
+	in.deaths++
+}
+
+// BeginSlot advances the fault state to the given slot: battery-dead
+// nodes die, scheduled events fire, alive nodes draw their crash chance
+// and randomly crashed nodes draw their recovery chance. Slots must be
+// presented in increasing order; repeats are no-ops. All draws happen in
+// node-ID order from per-node streams, so the outcome for node i is
+// independent of every other node's history.
+func (in *Injector) BeginSlot(slot int) {
+	if slot <= in.lastSlot {
+		return
+	}
+	in.lastSlot = slot
+	for i := range in.down {
+		if in.down[i] == upNode && in.charge != nil && in.charge[i] <= 0 {
+			in.kill(i, crashBattery)
+		}
+	}
+	for _, ev := range in.cfg.Schedule {
+		if ev.Slot != slot || ev.Node < 0 || ev.Node >= in.n {
+			continue
+		}
+		if ev.Up {
+			if in.down[ev.Node] == crashScheduled || in.down[ev.Node] == crashRandom {
+				in.down[ev.Node] = upNode
+			}
+		} else {
+			in.kill(ev.Node, crashScheduled)
+		}
+	}
+	if in.cfg.CrashProb <= 0 && in.cfg.RecoverProb <= 0 {
+		return
+	}
+	for i := range in.down {
+		switch in.down[i] {
+		case upNode:
+			if in.cfg.CrashProb > 0 && in.nodeRNG(&in.crashRNG, tagCrash, i).Float64() < in.cfg.CrashProb {
+				in.kill(i, crashRandom)
+			}
+		case crashRandom:
+			if in.cfg.RecoverProb > 0 && in.nodeRNG(&in.crashRNG, tagCrash, i).Float64() < in.cfg.RecoverProb {
+				in.down[i] = upNode
+			}
+		}
+	}
+}
+
+func (in *Injector) nodeRNG(pool *[]*rand.Rand, tag uint64, i int) *rand.Rand {
+	if (*pool)[i] == nil {
+		(*pool)[i] = in.subRNG(tag, uint64(i))
+	}
+	return (*pool)[i]
+}
+
+// DropLink reports whether the delivery from node `from` to node `to` is
+// lost in the given slot. The undirected link owns one Gilbert–Elliott
+// chain that is advanced once per elapsed slot (bursts span time even
+// while the link is out of range); each direction's delivery then draws
+// its own loss against the shared channel state. Callers must query links
+// in a deterministic order within a slot.
+func (in *Injector) DropLink(slot, from, to int) bool {
+	if !in.cfg.Link.Enabled() {
+		return false
+	}
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := int64(lo)*int64(in.n) + int64(hi)
+	ch := in.links[key]
+	if ch == nil {
+		ch = &geChain{rng: in.subRNG(tagLink, uint64(key)), slot: slot - 1}
+		in.links[key] = ch
+	}
+	for ; ch.slot < slot; ch.slot++ {
+		if ch.bad {
+			if ch.rng.Float64() < in.cfg.Link.PBadToGood {
+				ch.bad = false
+			}
+		} else if ch.rng.Float64() < in.cfg.Link.PGoodToBad {
+			ch.bad = true
+		}
+	}
+	loss := in.cfg.Link.LossGood
+	if ch.bad {
+		loss = in.cfg.Link.LossBad
+	}
+	return loss > 0 && ch.rng.Float64() < loss
+}
+
+// CorruptSamples applies sensing faults to node i's sensed readings:
+// dropped samples disappear, outlier samples gain an additive Gaussian
+// spike. The input slice is not modified; with sensing faults disabled it
+// is returned as-is with no RNG draws.
+func (in *Injector) CorruptSamples(i int, samples []Sample) []Sample {
+	if in.cfg.SenseDropProb <= 0 && in.cfg.SenseOutlierProb <= 0 {
+		return samples
+	}
+	rng := in.nodeRNG(&in.senseRNG, tagSense, i)
+	out := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		if in.cfg.SenseDropProb > 0 && rng.Float64() < in.cfg.SenseDropProb {
+			continue
+		}
+		if in.cfg.SenseOutlierProb > 0 && rng.Float64() < in.cfg.SenseOutlierProb {
+			s.Z += rng.NormFloat64() * in.cfg.SenseOutlierStd
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Drain subtracts energy e from node i's battery. A node whose charge
+// reaches zero dies at the start of the next slot (BeginSlot). No-op when
+// battery accounting is disabled.
+func (in *Injector) Drain(i int, e float64) {
+	if in.charge == nil || e <= 0 {
+		return
+	}
+	in.charge[i] -= e
+}
+
+// SpendSlot charges node i for one alive slot: its movement distance (the
+// simulator's unit-per-meter locomotion model) plus the hello broadcast's
+// radio energy.
+func (in *Injector) SpendSlot(i int, movement float64) {
+	if in.charge == nil {
+		return
+	}
+	in.charge[i] -= movement + in.cfg.HelloCost
+}
+
+// String summarizes the injector state, for logs and error paths.
+func (in *Injector) String() string {
+	return fmt.Sprintf("fault.Injector{n=%d alive=%d deaths=%d}", in.n, in.AliveCount(), in.deaths)
+}

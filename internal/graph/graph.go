@@ -124,6 +124,49 @@ func (g *Graph) components() ([]int, int) {
 	return labels, n
 }
 
+// ComponentsMask returns the component labels of the subgraph induced by
+// the vertices with include[v] true: excluded vertices get label -1 and
+// contribute no edges. A nil mask includes every vertex. n is the number
+// of components among included vertices. This is the connectivity query of
+// a network with failed nodes — dead hardware neither routes nor counts.
+func (g *Graph) ComponentsMask(include []bool) (labels []int, n int) {
+	if include == nil {
+		return g.components()
+	}
+	labels = make([]int, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int
+	for s := range labels {
+		if labels[s] != -1 || !include[s] {
+			continue
+		}
+		labels[s] = n
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if include[w] && labels[w] == -1 {
+					labels[w] = n
+					queue = append(queue, w)
+				}
+			}
+		}
+		n++
+	}
+	return labels, n
+}
+
+// ConnectedMask reports whether the subgraph induced by the included
+// vertices is connected (an empty or single-vertex induced subgraph counts
+// as connected). A nil mask means Connected.
+func (g *Graph) ConnectedMask(include []bool) bool {
+	_, n := g.ComponentsMask(include)
+	return n <= 1
+}
+
 // BFSFrom returns the hop distance from src to every vertex (-1 when
 // unreachable).
 func (g *Graph) BFSFrom(src int) []int {

@@ -60,6 +60,18 @@ type Config struct {
 	// perturbs the distance-controlled lattice rather than collapsing it.
 	// 0 defaults to 0.1.
 	CurvGain float64
+	// RobustFit selects Huber-weighted least squares for the curvature
+	// fits, so outlier samples injected by sensing faults cannot hijack
+	// the force balance. Off by default: the clean-sensing paths must stay
+	// bit-identical to the paper's QR fit.
+	RobustFit bool
+	// StaleDecay is the per-slot-of-age exponential factor applied to the
+	// F2 attraction and Fr repulsion of a neighbor whose report is stale
+	// (NeighborInfo.Age > 0): a silent — possibly dead — neighbor's
+	// influence decays as StaleDecay^Age until the caller drops it
+	// entirely at its staleness timeout. 0 defaults to 0.5; fresh reports
+	// (Age 0) are never scaled, keeping lossless runs bit-identical.
+	StaleDecay float64
 	// RepulseFrac sets the repulsion range as a fraction of Rc: neighbors
 	// repel while closer than RepulseFrac·Rc. The paper's Eqn 17 uses
 	// exactly Rc (fraction 1), which is the default. Values below 1 give
@@ -115,6 +127,11 @@ type NeighborInfo struct {
 	Pos geom.Vec2
 	// G is the neighbor's reported Gaussian curvature estimate.
 	G float64
+	// Age is how many slots old this report is: 0 for a hello received
+	// this slot, >0 when the caller replays a cached report because the
+	// neighbor has gone silent (message loss or death). Stale reports
+	// contribute exponentially decayed forces (Config.StaleDecay).
+	Age int
 }
 
 // Decision is a node's plan for the current slot.
@@ -153,6 +170,11 @@ type Controller struct {
 // thresholds of the movement deadband.
 const restartFactor = 2
 
+// minFitSamples is the fewest sensed readings Plan will steer on: the full
+// quadric fit has six unknowns, and below that the force computation is
+// numerically meaningless. Nodes with a thinner view hold position.
+const minFitSamples = 6
+
 // NewController returns a controller for node id.
 func NewController(id int, cfg Config) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
@@ -170,6 +192,9 @@ func NewController(id int, cfg Config) (*Controller, error) {
 	if cfg.RepulseFrac <= 0 || cfg.RepulseFrac > 1 {
 		cfg.RepulseFrac = 1
 	}
+	if cfg.StaleDecay <= 0 || cfg.StaleDecay > 1 {
+		cfg.StaleDecay = 0.5
+	}
 	return &Controller{cfg: cfg, id: id}, nil
 }
 
@@ -184,7 +209,26 @@ func (c *Controller) Config() Config { return c.cfg }
 // reports, and decide whether and where to move.
 func (c *Controller) Plan(pos geom.Vec2, samples []field.Sample, neighbors []NeighborInfo) (Decision, error) {
 	var d Decision
-	est, err := curvature.Fit(pos, samples, curvature.QR)
+	if len(samples) < minFitSamples {
+		// Degraded sensing (dropouts left fewer readings than the full
+		// quadric's six unknowns): the 3-term fallback fit is wildly
+		// ill-conditioned on such geometry, so instead of steering on
+		// garbage forces the node holds position and broadcasts zero
+		// curvature until its sensor view recovers. Neighbor curvature
+		// reports still feed the normalizer so the node rejoins the force
+		// balance seamlessly.
+		for _, nb := range neighbors {
+			c.observeG(nb.G)
+		}
+		d.Peak = pos
+		d.Target = pos
+		return d, nil
+	}
+	method := curvature.QR
+	if c.cfg.RobustFit {
+		method = curvature.Huber
+	}
+	est, err := curvature.Fit(pos, samples, method)
 	if err != nil {
 		if !errors.Is(err, curvature.ErrTooFewSamples) {
 			return d, fmt.Errorf("mobile: node %d curvature: %w", c.id, err)
@@ -200,17 +244,25 @@ func (c *Controller) Plan(pos geom.Vec2, samples []field.Sample, neighbors []Nei
 	// F1: attraction to the highest-curvature position in sensing range
 	// (Eqn 14). Candidate positions are the sensed sample positions; the
 	// curvature at each is fitted from its nearest sampled neighbors.
-	peak, peakG := c.findPeak(pos, samples)
+	peak, peakG := c.findPeak(pos, samples, method)
 	d.Peak = peak
 	d.F1 = peak.Sub(pos).Scale(c.cfg.CurvGain * c.weight(peakG))
 
-	// F2: curvature-weighted attraction toward neighbors (Eqn 15).
+	// F2: curvature-weighted attraction toward neighbors (Eqn 15). Stale
+	// reports (Age > 0) decay exponentially so a dead neighbor's pull
+	// fades out instead of pinning the swarm to a corpse; fresh reports
+	// take the exact unscaled path.
 	for _, nb := range neighbors {
-		d.F2 = d.F2.Add(nb.Pos.Sub(pos).Scale(c.cfg.CurvGain * c.weight(nb.G)))
+		scale := c.cfg.CurvGain * c.weight(nb.G)
+		if nb.Age > 0 {
+			scale *= c.staleWeight(nb.Age)
+		}
+		d.F2 = d.F2.Add(nb.Pos.Sub(pos).Scale(scale))
 	}
 
 	// Fr: repulsion from each neighbor, magnitude (RepulseFrac·Rc) − d
-	// (Eqn 17 with the guard band; see Config.RepulseFrac).
+	// (Eqn 17 with the guard band; see Config.RepulseFrac). Stale
+	// neighbors repel with the same decayed confidence as they attract.
 	repulseRange := c.cfg.RepulseFrac * c.cfg.Rc
 	for _, nb := range neighbors {
 		dist := pos.Dist(nb.Pos)
@@ -225,7 +277,11 @@ func (c *Controller) Plan(pos geom.Vec2, samples []field.Sample, neighbors []Nei
 		} else {
 			away = away.Scale(1 / dist)
 		}
-		d.Fr = d.Fr.Add(away.Scale(repulseRange - dist))
+		mag := repulseRange - dist
+		if nb.Age > 0 {
+			mag *= c.staleWeight(nb.Age)
+		}
+		d.Fr = d.Fr.Add(away.Scale(mag))
 	}
 
 	d.Fs = d.F1.Add(d.F2).Add(d.Fr.Scale(c.cfg.Beta))
@@ -280,6 +336,12 @@ func (c *Controller) observeG(g float64) {
 	}
 }
 
+// staleWeight is the exponential confidence decay of a report that is age
+// slots old.
+func (c *Controller) staleWeight(age int) float64 {
+	return math.Pow(c.cfg.StaleDecay, float64(age))
+}
+
 // weight converts a raw curvature into a normalized force weight in
 // [0, 1]. Normalizing by the largest curvature magnitude seen keeps the
 // attraction and repulsion terms comparable regardless of the physical
@@ -297,7 +359,7 @@ func (c *Controller) weight(g float64) float64 {
 // one-sided neighborhoods and produce wildly unstable curvature
 // estimates, which would make pc — and hence F1 — jitter between slots.
 // With no samples it returns pos and 0.
-func (c *Controller) findPeak(pos geom.Vec2, samples []field.Sample) (geom.Vec2, float64) {
+func (c *Controller) findPeak(pos geom.Vec2, samples []field.Sample, method curvature.Method) (geom.Vec2, float64) {
 	if len(samples) < 3 {
 		return pos, 0
 	}
@@ -307,7 +369,7 @@ func (c *Controller) findPeak(pos geom.Vec2, samples []field.Sample) (geom.Vec2,
 		if s.Pos.Dist(pos) > inner {
 			continue
 		}
-		est, err := curvature.FitNearest(s.Pos, samples, c.cfg.PeakFitM, curvature.QR)
+		est, err := curvature.FitNearest(s.Pos, samples, c.cfg.PeakFitM, method)
 		if err != nil {
 			continue
 		}

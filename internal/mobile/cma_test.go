@@ -307,3 +307,111 @@ func TestWeightNormalization(t *testing.T) {
 		t.Errorf("after larger obs weight = %v, want 0.5", got)
 	}
 }
+
+func TestPlanFewSamplesHoldsPosition(t *testing.T) {
+	// Regression (fault injection, DESIGN.md §7): with fewer than six
+	// sensed samples — e.g. after fault-injected dropouts — the node must
+	// hold position rather than steer on an ill-conditioned 3-term fit or
+	// emit NaN forces, even when neighbor forces would otherwise move it.
+	f := field.Constant(geom.Square(100), 5)
+	pos := geom.V2(50, 50)
+	full := sense(f, pos, 5)
+	nb := []NeighborInfo{{ID: 1, Pos: geom.V2(53, 50), G: 2}}
+	for m := 0; m < 6; m++ {
+		c, err := NewController(0, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := c.Plan(pos, full[:m], nb)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if d.Move {
+			t.Errorf("m=%d: degraded node moved (Fs=%v)", m, d.Fs)
+		}
+		if d.Target != pos {
+			t.Errorf("m=%d: target = %v, want hold at %v", m, d.Target, pos)
+		}
+		if d.G != 0 {
+			t.Errorf("m=%d: broadcast G = %v, want 0", m, d.G)
+		}
+		if !d.Fs.IsFinite() || !d.F1.IsFinite() || !d.F2.IsFinite() || !d.Fr.IsFinite() {
+			t.Errorf("m=%d: non-finite forces %+v", m, d)
+		}
+	}
+	// Six samples is enough to act again: the close neighbor repels.
+	c, err := NewController(0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Plan(pos, full[:6], nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Move {
+		t.Error("m=6: node with enough samples should act on the close neighbor")
+	}
+}
+
+func TestPlanStaleNeighborForcesDecay(t *testing.T) {
+	// A stale neighbor report contributes exponentially decayed repulsion;
+	// a fresh one (Age 0) contributes exactly the classic force.
+	f := field.Constant(geom.Square(100), 5)
+	pos := geom.V2(50, 50)
+	forceAt := func(age int) geom.Vec2 {
+		c, err := NewController(0, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := c.Plan(pos, sense(f, pos, 5), []NeighborInfo{{ID: 1, Pos: geom.V2(53, 50), Age: age}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Fr
+	}
+	fresh, one, two := forceAt(0), forceAt(1), forceAt(2)
+	if math.Abs(fresh.Len()-7) > 1e-9 {
+		t.Errorf("fresh |Fr| = %v, want 7 (unchanged classic repulsion)", fresh.Len())
+	}
+	if math.Abs(one.Len()-3.5) > 1e-9 { // default StaleDecay = 0.5
+		t.Errorf("age-1 |Fr| = %v, want 3.5", one.Len())
+	}
+	if math.Abs(two.Len()-1.75) > 1e-9 {
+		t.Errorf("age-2 |Fr| = %v, want 1.75", two.Len())
+	}
+}
+
+func TestPlanRobustFitSurvivesOutliers(t *testing.T) {
+	// Sensing outliers on a flat field: the QR-fit node hallucinates
+	// curvature, the RobustFit node must not broadcast a gross estimate.
+	f := field.Constant(geom.Square(100), 5)
+	pos := geom.V2(50, 50)
+	corrupt := sense(f, pos, 5)
+	corrupt[7].Z += 80
+	corrupt[31].Z -= 120
+
+	cfg := DefaultConfig()
+	cfg.RobustFit = true
+	robust, err := NewController(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewController(1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := robust.Plan(pos, corrupt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := plain.Plan(pos, corrupt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dr.G) >= math.Abs(dp.G) {
+		t.Errorf("robust |G| = %v not below QR |G| = %v under outliers", math.Abs(dr.G), math.Abs(dp.G))
+	}
+	if math.Abs(dr.G) > 1e-3 {
+		t.Errorf("robust G = %v on a flat field with outliers, want ≈0", dr.G)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -39,6 +40,12 @@ type Options struct {
 	// Trace configures movement-path sampling (the paper's future-work
 	// extension; see TraceOptions).
 	Trace TraceOptions
+	// Faults optionally injects node crashes, battery depletion, link loss
+	// and sensing faults (see internal/fault). nil — or an injector whose
+	// Config is inert — leaves the simulation bit-identical to a
+	// fault-free run. The injector must be built for exactly N nodes and
+	// must not be shared between worlds.
+	Faults *fault.Injector
 }
 
 // DefaultOptions returns the paper's Section 6 OSTD settings.
@@ -62,6 +69,9 @@ type StepStats struct {
 	// unit-per-meter locomotion model — the quantity behind the paper's
 	// "energy is sufficient for the movement" assumption.
 	EnergySpent float64
+	// Alive is the number of nodes up during this slot (the node count
+	// when no fault injector is attached).
+	Alive int
 }
 
 // World is a deterministic simulation of mobile CPS nodes.
@@ -73,7 +83,19 @@ type World struct {
 	sampler *field.Sampler
 	trace   *traceStore
 	t       float64
+	slot    int
 	energy  []float64 // cumulative movement energy per node
+	// heard is each node's last-received neighbor report, used to replay
+	// stale entries when a delivery is lost or a neighbor dies. Only
+	// populated while the fault injector is active.
+	heard []map[int]heardReport
+}
+
+// heardReport caches one received (position, G) announcement.
+type heardReport struct {
+	pos  geom.Vec2
+	g    float64
+	slot int
 }
 
 // NewWorld creates a world with nodes at the given initial positions.
@@ -86,6 +108,10 @@ func NewWorld(dyn field.DynField, positions []geom.Vec2, opts Options) (*World, 
 	}
 	if err := opts.Config.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if opts.Faults != nil && opts.Faults.N() != len(positions) {
+		return nil, fmt.Errorf("sim: fault injector built for %d nodes, world has %d",
+			opts.Faults.N(), len(positions))
 	}
 	w := &World{
 		dyn:     dyn,
@@ -120,21 +146,72 @@ func (w *World) Positions() []geom.Vec2 {
 	return append([]geom.Vec2(nil), w.pos...)
 }
 
-// Connected reports whether the node network is connected at Rc.
+// Connected reports whether the node network is connected at Rc. With a
+// fault injector attached, dead nodes neither route nor count: the induced
+// subgraph over the alive nodes is tested instead.
 func (w *World) Connected() bool {
-	return graph.NewUnitDisk(w.pos, w.opts.Config.Rc).Connected()
+	g := graph.NewUnitDisk(w.pos, w.opts.Config.Rc)
+	if w.opts.Faults != nil {
+		return g.ConnectedMask(w.opts.Faults.AliveMask(nil))
+	}
+	return g.Connected()
 }
 
-// Step advances the world by one slot.
+// Injector returns the attached fault injector, or nil.
+func (w *World) Injector() *fault.Injector { return w.opts.Faults }
+
+// AliveMask returns the aliveness of every node (all true without an
+// injector).
+func (w *World) AliveMask() []bool {
+	mask := make([]bool, w.N())
+	if w.opts.Faults != nil {
+		return w.opts.Faults.AliveMask(mask)
+	}
+	for i := range mask {
+		mask[i] = true
+	}
+	return mask
+}
+
+// Step advances the world by one slot. With an active fault injector the
+// slot degrades gracefully: dead nodes neither sense, transmit nor move;
+// lost or silent neighbor reports are replayed from the stale cache with
+// their age so forces decay; batteries drain with movement and the hello
+// broadcast. Without an injector (or with an inert one) the slot is
+// bit-identical to the original fault-free dynamics.
 func (w *World) Step() (StepStats, error) {
 	rc := w.opts.Config.Rc
+	inj := w.opts.Faults
+	faulty := inj != nil && inj.Active()
+	if faulty {
+		inj.BeginSlot(w.slot)
+		if w.heard == nil {
+			w.heard = make([]map[int]heardReport, w.N())
+			for i := range w.heard {
+				w.heard[i] = make(map[int]heardReport)
+			}
+		}
+	}
+	alive := func(i int) bool { return !faulty || inj.Alive(i) }
+	aliveCount := w.N()
+	if faulty {
+		aliveCount = inj.AliveCount()
+	}
 	g := graph.NewUnitDisk(w.pos, rc)
 
-	// Phase 1: sense and fit curvature (Table 2 lines 2-3).
+	// Phase 1: sense and fit curvature (Table 2 lines 2-3). Dead nodes do
+	// not sense; alive ones see their readings through the sensing fault
+	// channel (dropouts, outlier spikes).
 	samples := make([][]field.Sample, w.N())
 	curv := make([]float64, w.N())
 	for i := range w.pos {
+		if !alive(i) {
+			continue
+		}
 		samples[i] = w.sampler.DiscTime(w.dyn, w.pos[i], w.opts.Config.Rs, w.t)
+		if faulty {
+			samples[i] = inj.CorruptSamples(i, samples[i])
+		}
 	}
 
 	// Phase 2: neighbor exchange (lines 4-5). Curvature values come from
@@ -144,6 +221,9 @@ func (w *World) Step() (StepStats, error) {
 	// pass A with neighbor positions but zero G to obtain own G, pass B
 	// with true neighbor G values. Pass A's force outputs are discarded.
 	for i := range w.pos {
+		if !alive(i) {
+			continue
+		}
 		d, err := w.ctrl[i].Plan(w.pos[i], samples[i], nil)
 		if err != nil {
 			return StepStats{}, fmt.Errorf("sim: node %d estimate: %w", i, err)
@@ -152,10 +232,44 @@ func (w *World) Step() (StepStats, error) {
 	}
 	neighborInfos := make([][]mobile.NeighborInfo, w.N())
 	for i := range w.pos {
+		if !alive(i) {
+			continue
+		}
 		for _, j := range g.Neighbors(i) {
+			if !alive(j) {
+				continue // dead neighbors announce nothing
+			}
+			if faulty && inj.DropLink(w.slot, j, i) {
+				continue // delivery lost; the stale cache may fill in below
+			}
 			neighborInfos[i] = append(neighborInfos[i], mobile.NeighborInfo{
 				ID: j, Pos: w.pos[j], G: curv[j],
 			})
+			if faulty {
+				w.heard[i][j] = heardReport{pos: w.pos[j], g: curv[j], slot: w.slot}
+			}
+		}
+		if faulty {
+			// Replay stale cached reports for neighbors that went silent
+			// this slot — a lost delivery, a death, or a move out of range.
+			// Entries older than StaleSlots are presumed dead and dropped.
+			heardNow := make(map[int]bool, len(neighborInfos[i]))
+			for _, nb := range neighborInfos[i] {
+				heardNow[nb.ID] = true
+			}
+			for j, rec := range w.heard[i] {
+				if heardNow[j] {
+					continue
+				}
+				age := w.slot - rec.slot
+				if age > inj.StaleSlots() {
+					delete(w.heard[i], j)
+					continue
+				}
+				neighborInfos[i] = append(neighborInfos[i], mobile.NeighborInfo{
+					ID: j, Pos: rec.pos, G: rec.g, Age: age,
+				})
+			}
 		}
 		sort.Slice(neighborInfos[i], func(a, b int) bool {
 			return neighborInfos[i][a].ID < neighborInfos[i][b].ID
@@ -165,7 +279,11 @@ func (w *World) Step() (StepStats, error) {
 	// Phase 3: force computation and movement decision (lines 6-18).
 	decisions := make([]mobile.Decision, w.N())
 	var stats StepStats
+	stats.Alive = aliveCount
 	for i := range w.pos {
+		if !alive(i) {
+			continue
+		}
 		d, err := w.ctrl[i].Plan(w.pos[i], samples[i], neighborInfos[i])
 		if err != nil {
 			return StepStats{}, fmt.Errorf("sim: node %d plan: %w", i, err)
@@ -173,7 +291,9 @@ func (w *World) Step() (StepStats, error) {
 		decisions[i] = d
 		stats.MeanForce += d.Fs.Len()
 	}
-	stats.MeanForce /= float64(w.N())
+	if aliveCount > 0 {
+		stats.MeanForce /= float64(aliveCount)
+	}
 
 	// Phase 4: apply CMA moves under the velocity limit.
 	next := append([]geom.Vec2(nil), w.pos...)
@@ -186,8 +306,16 @@ func (w *World) Step() (StepStats, error) {
 	}
 
 	// Phase 5: LCM (lines 19-21): resolve the connectivity constraints of
-	// the announced moves (see ResolveLCM).
-	resolved, follows := ResolveLCM(w.dyn.Bounds(), rc, w.pos, next, neighborInfos)
+	// the announced moves (see ResolveLCM). Dead nodes neither announce
+	// nor bridge, so their links place no constraints.
+	var downMask []bool
+	if faulty {
+		downMask = make([]bool, w.N())
+		for i := range downMask {
+			downMask[i] = !inj.Alive(i)
+		}
+	}
+	resolved, follows := resolveLCMMasked(w.dyn.Bounds(), rc, w.pos, next, neighborInfos, downMask)
 	next = resolved
 	stats.Followed = follows
 	if follows < 0 { // projection failed: slot reverted
@@ -200,8 +328,13 @@ func (w *World) Step() (StepStats, error) {
 		stats.MeanDisplacement += moved
 		stats.EnergySpent += moved
 		w.energy[i] += moved
+		if faulty && inj.Alive(i) {
+			inj.SpendSlot(i, moved)
+		}
 	}
-	stats.MeanDisplacement /= float64(w.N())
+	if aliveCount > 0 {
+		stats.MeanDisplacement /= float64(aliveCount)
+	}
 
 	if w.trace != nil {
 		for i := range w.pos {
@@ -212,6 +345,7 @@ func (w *World) Step() (StepStats, error) {
 
 	w.pos = next
 	w.t += w.opts.SlotMinutes
+	w.slot++
 	stats.T = w.t
 	return stats, nil
 }
@@ -230,20 +364,38 @@ func (w *World) Step() (StepStats, error) {
 // wholesale and follows is returned as -1; otherwise follows counts the
 // projection operations performed.
 func ResolveLCM(region geom.Rect, rc float64, oldPos, next []geom.Vec2, neighborInfos [][]mobile.NeighborInfo) (resolved []geom.Vec2, follows int) {
+	return resolveLCMMasked(region, rc, oldPos, next, neighborInfos, nil)
+}
+
+// resolveLCMMasked is ResolveLCM with graceful degradation under node
+// failures: down vertices neither announce, absorb corrections, nor bridge,
+// so their links place no constraints on the survivors. Stale neighbor
+// entries can describe links that no longer exist — any critical edge that
+// is already over-stretched at the (always feasible on the classic path)
+// pre-move positions is skipped rather than allowed to drag the swarm
+// toward a phantom neighbor. A nil mask is exactly ResolveLCM.
+func resolveLCMMasked(region geom.Rect, rc float64, oldPos, next []geom.Vec2, neighborInfos [][]mobile.NeighborInfo, down []bool) (resolved []geom.Vec2, follows int) {
 	resolved = append([]geom.Vec2(nil), next...)
 	var oldEdges [][2]int
 	for i := range neighborInfos {
+		if down != nil && down[i] {
+			continue
+		}
 		for _, nb := range neighborInfos[i] {
-			if nb.ID > i {
-				oldEdges = append(oldEdges, [2]int{i, nb.ID})
+			if nb.ID <= i || (down != nil && down[nb.ID]) {
+				continue
 			}
+			if oldPos[i].Dist(oldPos[nb.ID]) > rc {
+				continue // stale entry: the link was already gone pre-move
+			}
+			oldEdges = append(oldEdges, [2]int{i, nb.ID})
 		}
 	}
 	limit := rc * (1 - 1e-4) // project slightly inside Rc for FP headroom
 	bridged := func(i, j int) bool {
 		for _, nb := range neighborInfos[i] {
 			b := nb.ID
-			if b == j {
+			if b == j || (down != nil && down[b]) {
 				continue
 			}
 			if resolved[b].Dist(resolved[i]) <= rc && resolved[b].Dist(resolved[j]) <= rc {
@@ -311,11 +463,16 @@ func (w *World) TotalEnergy() float64 {
 
 // Delta computes the paper's δ for the current node positions against the
 // current field slice, reconstructing by Delaunay interpolation on an
-// n-division lattice.
+// n-division lattice. With a fault injector attached, dead nodes
+// contribute no samples — the reconstruction degrades to what the
+// surviving swarm can actually report.
 func (w *World) Delta(n int) (float64, error) {
 	slice := field.Slice(w.dyn, w.t)
 	samples := make([]field.Sample, 0, w.N())
-	for _, p := range w.pos {
+	for i, p := range w.pos {
+		if w.opts.Faults != nil && !w.opts.Faults.Alive(i) {
+			continue
+		}
 		samples = append(samples, field.Sample{Pos: p, Z: slice.Eval(p)})
 	}
 	d, err := surface.DeltaSamples(slice, samples, n)

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -127,6 +128,25 @@ type (
 	Terrain = field.Terrain
 	// Plume is an advecting pollutant release (sharply time-varying).
 	Plume = field.Plume
+)
+
+// Fault-injection and graceful-degradation API (DESIGN.md §7).
+type (
+	// FaultConfig parameterizes the deterministic fault injector; the zero
+	// value injects nothing.
+	FaultConfig = fault.Config
+	// FaultInjector drives seeded node crashes, battery depletion, link
+	// loss and sensing faults inside a World (WorldOptions.Faults).
+	FaultInjector = fault.Injector
+	// FaultEvent is one deterministic kill/revive schedule entry.
+	FaultEvent = fault.Event
+	// GilbertElliott is the two-state bursty link-loss channel model.
+	GilbertElliott = fault.GilbertElliott
+	// PartialTreeError carries the reachable part of a collection tree
+	// when some vertices cannot reach the sink.
+	PartialTreeError = collect.PartialError
+	// DegradationRow is one point of the δ-versus-failure-rate sweep.
+	DegradationRow = eval.DegradationRow
 )
 
 // V2 constructs a Vec2.
@@ -264,6 +284,22 @@ func BuildCollectionTree(positions []Vec2, rc float64, sink int) (*CollectionTre
 	return collect.BuildTree(graph.NewUnitDisk(positions, rc), sink)
 }
 
+// BuildCollectionTreeMasked is BuildCollectionTree over the subgraph of
+// vertices with down[v] false: failed vertices neither route nor count as
+// unreached. A nil mask includes every vertex.
+func BuildCollectionTreeMasked(positions []Vec2, rc float64, sink int, down []bool) (*CollectionTree, error) {
+	return collect.BuildTreeMasked(graph.NewUnitDisk(positions, rc), sink, down)
+}
+
+// RepairCollectionTree re-routes a collection tree around failed vertices
+// (down[v] true) over the current unit-disk graph, re-parenting orphaned
+// subtrees onto surviving attachment points. It returns the repaired tree,
+// the alive vertices left unreachable, and the re-parented count; the
+// input tree is not modified.
+func RepairCollectionTree(t *CollectionTree, positions []Vec2, rc float64, down []bool) (*CollectionTree, []int, int, error) {
+	return t.Repair(graph.NewUnitDisk(positions, rc), down)
+}
+
 // CollectionCost computes the per-epoch convergecast cost of the network
 // from its energy-optimal sink.
 func CollectionCost(positions []Vec2, rc float64) (sink int, stats CollectionStats, err error) {
@@ -287,6 +323,24 @@ func NetworkVsK(f Field, ks []int, opts DeltaVsKOptions) ([]NetworkRow, error) {
 // of the paper's Section 5 centralization critique.
 func CompareMobile(dyn DynField, k, slots, deltaN int) ([]MobileRow, error) {
 	return eval.CompareMobile(dyn, k, slots, deltaN)
+}
+
+// NewFaultInjector builds a deterministic fault injector for n nodes;
+// attach it via WorldOptions.Faults.
+func NewFaultInjector(n int, cfg FaultConfig) *FaultInjector {
+	return fault.NewInjector(n, cfg)
+}
+
+// FaultProfile scales every fault channel from a single run-level failure
+// rate; rate 0 yields an inert config (bit-identical to fault-free).
+func FaultProfile(rate float64, slots int, seed int64) FaultConfig {
+	return fault.Profile(rate, slots, seed)
+}
+
+// DegradationSweep measures δ and connectivity uptime versus failure rate
+// under injected faults with collection-tree repair (DESIGN.md §7).
+func DegradationSweep(dyn DynField, k, slots, deltaN int, rates []float64, seed int64) ([]DegradationRow, error) {
+	return eval.DegradationSweep(dyn, k, slots, deltaN, rates, seed)
 }
 
 // NewTerrain generates a deterministic fractal terrain over region.
