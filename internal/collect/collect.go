@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/view"
 )
 
 // ErrDisconnected is returned when some node cannot reach the sink.
@@ -72,19 +73,27 @@ type Tree struct {
 // partial tree and the unreached list, so callers can degrade instead of
 // abort; the error still satisfies errors.Is(err, ErrDisconnected).
 func BuildTree(g *graph.Graph, sink int) (*Tree, error) {
-	return BuildTreeMasked(g, sink, nil)
+	return BuildTreeIn(g, sink, view.Alive{})
 }
 
-// BuildTreeMasked is BuildTree over the subgraph of vertices with down[v]
-// false: failed vertices neither route nor count as unreached. A nil mask
-// includes every vertex. A down sink yields ErrBadSink.
-func BuildTreeMasked(g *graph.Graph, sink int, down []bool) (*Tree, error) {
+// BuildTreeIn is BuildTree over the subgraph induced by the alive vertices
+// of v: dead vertices neither route nor count as unreached. Only the
+// view's mask is consulted (the graph carries its own positions); the zero
+// view is exactly BuildTree. A dead sink yields ErrBadSink.
+func BuildTreeIn(g *graph.Graph, sink int, v view.Alive) (*Tree, error) {
 	n := g.N()
 	if sink < 0 || sink >= n {
 		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadSink, sink, n)
 	}
-	if down != nil && down[sink] {
+	if !v.Up(sink) {
 		return nil, fmt.Errorf("%w: sink %d is down", ErrBadSink, sink)
+	}
+	var down []bool
+	if !v.AllUp() {
+		down = make([]bool, n)
+		for i := range down {
+			down[i] = !v.Up(i)
+		}
 	}
 	t := &Tree{
 		Sink:   sink,
@@ -140,18 +149,18 @@ func (t *Tree) dijkstra(g *graph.Graph, pq *costHeap, down []bool) {
 }
 
 // Repair re-routes a collection tree around failed vertices: every vertex
-// whose path to the sink passes through a down vertex (an orphaned
+// whose path to the sink passes through a dead vertex (an orphaned
 // subtree) is re-parented onto the cheapest surviving attachment point, by
 // multi-source Dijkstra growth from the intact region into the orphaned
 // one over g's current edges. Vertices that survive with their original
 // route keep it bit-for-bit — repair is local, not a rebuild. It returns
 // the repaired tree (t is not modified), the alive vertices that remain
 // unreachable (ascending), and the number of vertices successfully
-// re-parented. A down sink returns ErrSinkDown: no re-parenting can save
+// re-parented. A dead sink returns ErrSinkDown: no re-parenting can save
 // the epoch and the caller must elect a new sink.
-func (t *Tree) Repair(g *graph.Graph, down []bool) (repaired *Tree, orphans []int, reparented int, err error) {
+func (t *Tree) Repair(g *graph.Graph, alive view.Alive) (repaired *Tree, orphans []int, reparented int, err error) {
 	n := len(t.Parent)
-	if down != nil && down[t.Sink] {
+	if !alive.Up(t.Sink) {
 		return nil, nil, 0, fmt.Errorf("%w: sink %d", ErrSinkDown, t.Sink)
 	}
 	// Classify: valid vertices keep an all-alive parent chain to the sink.
@@ -167,7 +176,7 @@ func (t *Tree) Repair(g *graph.Graph, down []bool) (repaired *Tree, orphans []in
 			return state[v]
 		}
 		switch {
-		case down != nil && down[v]:
+		case !alive.Up(v):
 			state[v] = invalid
 		case v == t.Sink:
 			state[v] = valid
@@ -201,7 +210,7 @@ func (t *Tree) Repair(g *graph.Graph, down []bool) (repaired *Tree, orphans []in
 		repaired.Parent[v] = -1
 		repaired.Depth[v] = -1
 		repaired.Cost[v] = math.Inf(1)
-		if down != nil && down[v] {
+		if !alive.Up(v) {
 			frozen[v] = true // dead: no route, and no transit either
 			continue
 		}
@@ -223,7 +232,7 @@ func (t *Tree) Repair(g *graph.Graph, down []bool) (repaired *Tree, orphans []in
 	}
 	repaired.dijkstra(g, pq, frozen)
 	for v := 0; v < n; v++ {
-		if state[v] == invalid && (down == nil || !down[v]) {
+		if state[v] == invalid && alive.Up(v) {
 			if math.IsInf(repaired.Cost[v], 1) {
 				orphans = append(orphans, v)
 			} else {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/view"
 )
 
 func chain(n int, spacing float64) *graph.Graph {
@@ -198,12 +199,12 @@ func TestBuildTreePartialError(t *testing.T) {
 	}
 }
 
-func TestBuildTreeMasked(t *testing.T) {
+func TestBuildTreeIn(t *testing.T) {
 	// A 5-chain with the middle vertex down: only {0,1} are reachable from
 	// sink 0, {3,4} are unreached, 2 is down (not reported unreached).
 	g := chain(5, 8)
-	down := []bool{false, false, true, false, false}
-	tree, err := BuildTreeMasked(g, 0, down)
+	alive := view.Alive{Mask: []bool{true, true, false, true, true}}
+	tree, err := BuildTreeIn(g, 0, alive)
 	if tree != nil {
 		t.Fatal("partitioned build returned a non-nil tree")
 	}
@@ -220,14 +221,14 @@ func TestBuildTreeMasked(t *testing.T) {
 	if pe.Tree.Parent[1] != 0 {
 		t.Error("alive reachable vertex not routed")
 	}
-	// Down sink is a sink error, not a disconnection.
-	if _, err := BuildTreeMasked(g, 2, down); !errors.Is(err, ErrBadSink) {
+	// Dead sink is a sink error, not a disconnection.
+	if _, err := BuildTreeIn(g, 2, alive); !errors.Is(err, ErrBadSink) {
 		t.Errorf("down sink: want ErrBadSink, got %v", err)
 	}
-	// Nil mask behaves exactly like BuildTree.
-	full, err := BuildTreeMasked(g, 0, nil)
+	// The zero view behaves exactly like BuildTree.
+	full, err := BuildTreeIn(g, 0, view.Alive{})
 	if err != nil || full.Depth[4] != 4 {
-		t.Errorf("nil mask build failed: %v %+v", err, full)
+		t.Errorf("zero-view build failed: %v %+v", err, full)
 	}
 }
 
@@ -254,7 +255,7 @@ func TestRepairReparentsOrphanedSubtree(t *testing.T) {
 	}
 	down := make([]bool, 16)
 	down[1] = true
-	repaired, orphans, reparented, err := tree.Repair(g, down)
+	repaired, orphans, reparented, err := tree.Repair(g, view.FromDown(nil, down))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestRepairReportsTrueOrphans(t *testing.T) {
 	}
 	down := make([]bool, 5)
 	down[2] = true
-	repaired, orphans, reparented, err := tree.Repair(g, down)
+	repaired, orphans, reparented, err := tree.Repair(g, view.FromDown(nil, down))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestRepairSinkDown(t *testing.T) {
 		t.Fatal(err)
 	}
 	down := []bool{false, true, false}
-	if _, _, _, err := tree.Repair(g, down); !errors.Is(err, ErrSinkDown) {
+	if _, _, _, err := tree.Repair(g, view.FromDown(nil, down)); !errors.Is(err, ErrSinkDown) {
 		t.Errorf("want ErrSinkDown, got %v", err)
 	}
 }
@@ -343,7 +344,7 @@ func TestRepairNoFailuresIsIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repaired, orphans, reparented, err := tree.Repair(g, make([]bool, 16))
+	repaired, orphans, reparented, err := tree.Repair(g, view.Alive{})
 	if err != nil || len(orphans) != 0 || reparented != 0 {
 		t.Fatalf("no-failure repair: orphans=%v reparented=%d err=%v", orphans, reparented, err)
 	}

@@ -1,0 +1,459 @@
+// Package engine is the staged per-slot simulation pipeline behind
+// sim.World: the paper's CMA round (§OSTD, Table 2) decomposed into seven
+// pluggable stages — Sense, Fit, Exchange, Plan, Resolve, Move, Account —
+// each an interface with a default implementation extracted from the
+// former monolithic World.Step.
+//
+// # Determinism
+//
+// The engine is bit-identical to the original serial step at any
+// GOMAXPROCS. Per-node stages run in deterministic index bands (the same
+// recipe as surface's banded Delta fills): nodes are split into fixed
+// nodeBand-sized bands — a function of the node count only, never of the
+// worker count — and workers pull band indices from an atomic counter.
+// Every node's computation touches only its own slots of the per-step
+// scratch, so band scheduling cannot change any result bit. Floating-point
+// folds over nodes (mean force, displacement, energy) always run serially
+// in ascending node order, because FP addition is not associative.
+//
+// A stage may only run its per-node body in parallel when that body is
+// independent across nodes for the step's configuration:
+//
+//   - Sense is parallel only with zero sensing noise — field.Sampler owns
+//     one shared noise RNG whose draw order is observable otherwise. (The
+//     fault injector's sample corruption is always parallel-safe: it
+//     derives an independent per-node stream.)
+//   - Exchange is parallel only when the fault injector is inactive —
+//     link-loss queries advance shared Gilbert-Elliott chain state.
+//   - Fit and Plan are always parallel: a node's controller is touched by
+//     that node alone.
+//   - Resolve, Move and Account are inherently serial (global constraint
+//     projection and ordered folds).
+//
+// # Alive view
+//
+// Each step snapshots one view.Alive (positions + alive mask + epoch)
+// after the injector's slot transition and every stage consumes it; the
+// fault-free path is the nil-mask view, so it is bit-identical to the
+// pre-fault dynamics by construction.
+//
+// # Neighbor discovery
+//
+// Stages share one spatial.Index over the current positions (rebuilt
+// lazily per position epoch) instead of rebuilding a full communication
+// graph every slot. Boundary semantics replicate graph.NewUnitDisk
+// exactly: small swarms use the sqrt predicate Dist ≤ Rc, large ones the
+// squared predicate Dist² ≤ Rc².
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/mobile"
+	"repro/internal/spatial"
+	"repro/internal/view"
+)
+
+// ErrNoNodes is returned when an engine is created without nodes.
+var ErrNoNodes = errors.New("engine: no nodes")
+
+// StepStats summarizes one simulation slot.
+type StepStats struct {
+	// T is the world time in minutes after the step.
+	T float64
+	// Moved is the number of nodes that moved under CMA this slot.
+	Moved int
+	// Followed is the number of LCM follow moves this slot.
+	Followed int
+	// MeanForce is the mean |Fs| over all nodes.
+	MeanForce float64
+	// MeanDisplacement is the mean distance moved this slot.
+	MeanDisplacement float64
+	// EnergySpent is the total movement energy this slot under a
+	// unit-per-meter locomotion model — the quantity behind the paper's
+	// "energy is sufficient for the movement" assumption.
+	EnergySpent float64
+	// Alive is the number of nodes up during this slot (the node count
+	// when no fault injector is attached).
+	Alive int
+}
+
+// Options configures an engine.
+type Options struct {
+	// Config is the per-node CMA configuration.
+	Config mobile.Config
+	// NoiseStd is the sensing noise standard deviation.
+	NoiseStd float64
+	// Seed drives the sensing noise.
+	Seed int64
+	// SlotMinutes is the duration of one time slot; 0 defaults to 1.
+	SlotMinutes float64
+	// Faults optionally injects node crashes, battery depletion, link
+	// loss and sensing faults. The injector must be built for exactly the
+	// engine's node count and must not be shared between engines.
+	Faults *fault.Injector
+	// BeforeMove, when non-nil, is called by the Move stage with the
+	// pre-move and resolved post-move positions just before the commit —
+	// the hook sim uses for movement-trace sampling. Both slices are
+	// read-only borrows.
+	BeforeMove func(old, next []geom.Vec2)
+	// Stages overrides the step pipeline; nil means DefaultStages().
+	Stages []Stage
+}
+
+// Engine advances a swarm of CMA nodes one slot at a time by running its
+// stage pipeline over shared per-step state.
+type Engine struct {
+	dyn     field.DynField
+	opts    Options
+	ctrl    []*mobile.Controller
+	pos     []geom.Vec2
+	sampler *field.Sampler
+	t       float64
+	slot    int
+	energy  []float64 // cumulative movement energy per node
+	// heard is each node's last-received neighbor report, used to replay
+	// stale entries when a delivery is lost or a neighbor dies. Only
+	// populated while the fault injector is active.
+	heard  []map[int]heardReport
+	stages []Stage
+
+	// idx is the shared neighbor-discovery index over pos, rebuilt lazily
+	// whenever epoch has advanced past idxEpoch. epoch bumps at every
+	// position commit.
+	idx      *spatial.Index
+	idxEpoch int
+	epoch    int
+}
+
+// heardReport caches one received (position, G) announcement.
+type heardReport struct {
+	pos  geom.Vec2
+	g    float64
+	slot int
+}
+
+// New creates an engine with nodes at the given initial positions
+// (clamped to the field bounds).
+func New(dyn field.DynField, positions []geom.Vec2, opts Options) (*Engine, error) {
+	if len(positions) == 0 {
+		return nil, ErrNoNodes
+	}
+	if opts.SlotMinutes <= 0 {
+		opts.SlotMinutes = 1
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if opts.Faults != nil && opts.Faults.N() != len(positions) {
+		return nil, fmt.Errorf("engine: fault injector built for %d nodes, world has %d",
+			opts.Faults.N(), len(positions))
+	}
+	e := &Engine{
+		dyn:      dyn,
+		opts:     opts,
+		pos:      append([]geom.Vec2(nil), positions...),
+		sampler:  field.NewSampler(opts.NoiseStd, opts.Seed),
+		stages:   opts.Stages,
+		idxEpoch: -1,
+	}
+	if e.stages == nil {
+		e.stages = DefaultStages()
+	}
+	e.energy = make([]float64, len(e.pos))
+	region := dyn.Bounds()
+	for i := range e.pos {
+		e.pos[i] = region.ClampPoint(e.pos[i])
+		c, err := mobile.NewController(i, opts.Config)
+		if err != nil {
+			return nil, fmt.Errorf("engine: controller %d: %w", i, err)
+		}
+		e.ctrl = append(e.ctrl, c)
+	}
+	return e, nil
+}
+
+// N returns the number of nodes.
+func (e *Engine) N() int { return len(e.pos) }
+
+// Time returns the current world time in minutes.
+func (e *Engine) Time() float64 { return e.t }
+
+// SlotIndex returns the number of completed slots.
+func (e *Engine) SlotIndex() int { return e.slot }
+
+// Pos returns the live position slice as a read-only borrow; it is
+// replaced wholesale at each commit, never mutated in place.
+func (e *Engine) Pos() []geom.Vec2 { return e.pos }
+
+// Positions returns a copy of the current node positions.
+func (e *Engine) Positions() []geom.Vec2 {
+	return append([]geom.Vec2(nil), e.pos...)
+}
+
+// NodeEnergy returns the cumulative movement energy (meters traveled) of
+// node i since the engine started.
+func (e *Engine) NodeEnergy(i int) float64 { return e.energy[i] }
+
+// TotalEnergy returns the cumulative movement energy of the whole swarm.
+func (e *Engine) TotalEnergy() float64 {
+	s := 0.0
+	for _, v := range e.energy {
+		s += v
+	}
+	return s
+}
+
+// Injector returns the attached fault injector, or nil.
+func (e *Engine) Injector() *fault.Injector { return e.opts.Faults }
+
+// Slot is the shared scratch state of one step, produced and consumed by
+// the stages in pipeline order. All slices are indexed by node.
+type Slot struct {
+	// Epoch is the slot index being simulated.
+	Epoch int
+	// Faulty reports whether the fault injector is active this slot.
+	Faulty bool
+	// Alive is the pre-move alive view: current positions plus the alive
+	// mask snapshotted after the injector's slot transition (nil mask on
+	// the fault-free path).
+	Alive view.Alive
+	// AliveCount is the number of alive nodes.
+	AliveCount int
+	// Samples holds each node's sensed disc (Sense).
+	Samples [][]field.Sample
+	// Curv holds each node's own curvature estimate G (Fit).
+	Curv []float64
+	// Infos holds each node's received neighbor reports, sorted by ID
+	// (Exchange).
+	Infos [][]mobile.NeighborInfo
+	// Decisions holds each node's CMA movement decision (Plan).
+	Decisions []mobile.Decision
+	// ForceLen holds |Fs| per node (Plan), folded serially into Stats.
+	ForceLen []float64
+	// Next holds the tentative (Plan) then resolved (Resolve) next
+	// positions, committed by Move.
+	Next []geom.Vec2
+	// Stats accumulates the step's statistics.
+	Stats StepStats
+}
+
+// Step advances the engine by one slot by running every stage in order.
+// With an active fault injector the slot degrades gracefully: dead nodes
+// neither sense, transmit nor move; lost or silent neighbor reports are
+// replayed from the stale cache with their age so forces decay; batteries
+// drain with movement and the hello broadcast. Without an injector (or
+// with an inert one) the slot is bit-identical to the fault-free dynamics.
+func (e *Engine) Step() (StepStats, error) {
+	inj := e.opts.Faults
+	s := &Slot{
+		Epoch:  e.slot,
+		Faulty: inj != nil && inj.Active(),
+	}
+	if s.Faulty {
+		inj.BeginSlot(e.slot)
+		if e.heard == nil {
+			e.heard = make([]map[int]heardReport, e.N())
+			for i := range e.heard {
+				e.heard[i] = make(map[int]heardReport)
+			}
+		}
+	}
+	// Snapshot the alive view once: injector aliveness only changes at
+	// BeginSlot (above) and through SpendSlot(i) at the very end of the
+	// slot, which cannot affect any other node's mask entry.
+	s.Alive = view.Alive{Pos: e.pos, Epoch: e.slot}
+	s.AliveCount = e.N()
+	if s.Faulty {
+		s.Alive.Mask = inj.AliveMask(nil)
+		s.AliveCount = inj.AliveCount()
+	}
+	s.Stats.Alive = s.AliveCount
+	n := e.N()
+	s.Samples = make([][]field.Sample, n)
+	s.Curv = make([]float64, n)
+	s.Infos = make([][]mobile.NeighborInfo, n)
+	s.Decisions = make([]mobile.Decision, n)
+	s.ForceLen = make([]float64, n)
+	s.Next = append([]geom.Vec2(nil), e.pos...)
+	for _, st := range e.stages {
+		if err := st.Run(e, s); err != nil {
+			return StepStats{}, fmt.Errorf("engine: stage %s: %w", st.Name(), err)
+		}
+	}
+	return s.Stats, nil
+}
+
+// nodeBand is the number of consecutive node indices one parallel band
+// covers. Bands are a function of the node count only — never the worker
+// count — so results are identical at any GOMAXPROCS.
+const nodeBand = 64
+
+// forNodes runs fn(i) for every node index. With parallel false — or a
+// swarm of at most one band — it is a plain ascending loop. Otherwise
+// workers pull fixed index bands from an atomic counter; fn must then only
+// write state owned by node i. The returned error is the first error in
+// ascending node order (a band stops at its first error).
+func (e *Engine) forNodes(parallel bool, fn func(i int) error) error {
+	n := e.N()
+	if !parallel || n <= nodeBand {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bands := (n + nodeBand - 1) / nodeBand
+	workers := runtime.GOMAXPROCS(0)
+	if workers > bands {
+		workers = bands
+	}
+	errs := make([]error, bands)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= bands {
+					return
+				}
+				hi := (b + 1) * nodeBand
+				if hi > n {
+					hi = n
+				}
+				for i := b * nodeBand; i < hi; i++ {
+					if err := fn(i); err != nil {
+						errs[b] = err
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanThreshold is the node count above which graph.NewUnitDisk switches
+// from the sqrt distance predicate to the squared one; neighbor discovery
+// here must replicate that boundary choice bit for bit.
+const scanThreshold = 256
+
+// refreshIndex rebuilds the shared neighbor index when positions have
+// moved since it was built. A failed build (only possible with a
+// non-positive Rc, which New rejects) leaves idx nil and neighborsOf falls
+// back to direct scans.
+func (e *Engine) refreshIndex() {
+	if e.idxEpoch == e.epoch {
+		return
+	}
+	e.idxEpoch = e.epoch
+	idx, err := spatial.NewIndex(e.pos, e.opts.Config.Rc)
+	if err != nil {
+		e.idx = nil
+		return
+	}
+	e.idx = idx
+}
+
+// sqrtInflate pads an index query radius just enough that every pair the
+// correctly-rounded sqrt predicate Dist ≤ rc accepts also passes the
+// squared pre-filter Dist² ≤ (rc·sqrtInflate)²; the exact sqrt comparison
+// then decides membership.
+const sqrtInflate = 1 + 1e-12
+
+// neighborsOf appends to dst the unit-disk neighbors of node i at the
+// engine's Rc, ascending and excluding i itself, and returns the extended
+// slice. Semantics replicate graph.NewUnitDisk exactly: swarms of at most
+// scanThreshold nodes use Dist ≤ rc, larger ones Dist² ≤ rc². Callers must
+// refreshIndex() first.
+func (e *Engine) neighborsOf(i int, dst []int) []int {
+	rc := e.opts.Config.Rc
+	sqrtPred := len(e.pos) <= scanThreshold
+	if e.idx == nil {
+		for j := range e.pos {
+			if j == i {
+				continue
+			}
+			if sqrtPred {
+				if e.pos[i].Dist(e.pos[j]) <= rc {
+					dst = append(dst, j)
+				}
+			} else if e.pos[i].Dist2(e.pos[j]) <= rc*rc {
+				dst = append(dst, j)
+			}
+		}
+		return dst
+	}
+	if sqrtPred {
+		start := len(dst)
+		dst = e.idx.Within(dst, e.pos[i], rc*sqrtInflate)
+		out := dst[:start]
+		for _, j := range dst[start:] {
+			if j != i && e.pos[i].Dist(e.pos[j]) <= rc {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	start := len(dst)
+	dst = e.idx.Within(dst, e.pos[i], rc)
+	out := dst[:start]
+	for _, j := range dst[start:] {
+		if j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ConnectedIn reports whether the unit-disk network over the current
+// positions, induced on the alive nodes of v, is connected (empty and
+// single-node networks count as connected). Only v's mask is consulted;
+// the zero view is the classic all-alive query.
+func (e *Engine) ConnectedIn(v view.Alive) bool {
+	e.refreshIndex()
+	n := e.N()
+	seen := make([]bool, n)
+	var queue, scratch []int
+	comps := 0
+	for s := 0; s < n; s++ {
+		if seen[s] || !v.Up(s) {
+			continue
+		}
+		if comps == 1 {
+			return false // a second component exists
+		}
+		comps++
+		seen[s] = true
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			scratch = e.neighborsOf(u, scratch[:0])
+			for _, w := range scratch {
+				if v.Up(w) && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return true
+}

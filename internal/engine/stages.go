@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mobile"
+)
+
+// Stage is one phase of the per-slot pipeline. Run reads and writes the
+// shared Slot scratch; stages communicate only through it and through the
+// engine's committed state.
+type Stage interface {
+	// Name identifies the stage in errors and diagnostics.
+	Name() string
+	// Run executes the stage for the current slot.
+	Run(e *Engine, s *Slot) error
+}
+
+// DefaultStages returns the paper's CMA round as a stage list:
+//
+//	Sense → Fit → Exchange → Plan → Resolve → Move → Account
+//
+// The slice is fresh on every call, so callers may splice in extra stages
+// without affecting other engines.
+func DefaultStages() []Stage {
+	return []Stage{
+		SenseStage{},
+		FitStage{},
+		ExchangeStage{},
+		PlanStage{},
+		ResolveStage{},
+		MoveStage{},
+		AccountStage{},
+	}
+}
+
+// SenseStage samples the field over each alive node's sensing disc
+// (Table 2 lines 2-3) and routes the readings through the sensing-fault
+// channel (dropouts, outlier spikes). Dead nodes do not sense. Parallel
+// only with zero sensing noise: the sampler's noise RNG is shared, and its
+// draw order is observable otherwise.
+type SenseStage struct{}
+
+// Name implements Stage.
+func (SenseStage) Name() string { return "sense" }
+
+// Run implements Stage.
+func (SenseStage) Run(e *Engine, s *Slot) error {
+	inj := e.opts.Faults
+	return e.forNodes(e.opts.NoiseStd == 0, func(i int) error {
+		if !s.Alive.Up(i) {
+			return nil
+		}
+		s.Samples[i] = e.sampler.DiscTime(e.dyn, e.pos[i], e.opts.Config.Rs, e.t)
+		if s.Faulty {
+			s.Samples[i] = inj.CorruptSamples(i, s.Samples[i])
+		}
+		return nil
+	})
+}
+
+// FitStage computes each alive node's own curvature estimate G via a
+// planning dry run on an empty neighbor set, so the Exchange stage can
+// broadcast causally consistent values. Always parallel: a node's
+// controller is touched by that node alone.
+type FitStage struct{}
+
+// Name implements Stage.
+func (FitStage) Name() string { return "fit" }
+
+// Run implements Stage.
+func (FitStage) Run(e *Engine, s *Slot) error {
+	return e.forNodes(true, func(i int) error {
+		if !s.Alive.Up(i) {
+			return nil
+		}
+		d, err := e.ctrl[i].Plan(e.pos[i], s.Samples[i], nil)
+		if err != nil {
+			return fmt.Errorf("node %d estimate: %w", i, err)
+		}
+		s.Curv[i] = d.G
+		return nil
+	})
+}
+
+// ExchangeStage delivers each alive node's (position, G) hello to its
+// current unit-disk neighbors (Table 2 lines 4-5). Under an active
+// injector, deliveries pass the link-loss channel, received reports feed
+// the stale cache, and silent neighbors are replayed from it with their
+// age (entries older than StaleSlots are presumed dead and dropped).
+// Parallel only when the injector is inactive: link-loss queries advance
+// shared channel state.
+type ExchangeStage struct{}
+
+// Name implements Stage.
+func (ExchangeStage) Name() string { return "exchange" }
+
+// Run implements Stage.
+func (ExchangeStage) Run(e *Engine, s *Slot) error {
+	e.refreshIndex()
+	inj := e.opts.Faults
+	return e.forNodes(!s.Faulty, func(i int) error {
+		if !s.Alive.Up(i) {
+			return nil
+		}
+		for _, j := range e.neighborsOf(i, nil) {
+			if !s.Alive.Up(j) {
+				continue // dead neighbors announce nothing
+			}
+			if s.Faulty && inj.DropLink(s.Epoch, j, i) {
+				continue // delivery lost; the stale cache may fill in below
+			}
+			s.Infos[i] = append(s.Infos[i], mobile.NeighborInfo{
+				ID: j, Pos: e.pos[j], G: s.Curv[j],
+			})
+			if s.Faulty {
+				e.heard[i][j] = heardReport{pos: e.pos[j], g: s.Curv[j], slot: s.Epoch}
+			}
+		}
+		if s.Faulty {
+			// Replay stale cached reports for neighbors that went silent
+			// this slot — a lost delivery, a death, or a move out of range.
+			heardNow := make(map[int]bool, len(s.Infos[i]))
+			for _, nb := range s.Infos[i] {
+				heardNow[nb.ID] = true
+			}
+			for j, rec := range e.heard[i] {
+				if heardNow[j] {
+					continue
+				}
+				age := s.Epoch - rec.slot
+				if age > inj.StaleSlots() {
+					delete(e.heard[i], j)
+					continue
+				}
+				s.Infos[i] = append(s.Infos[i], mobile.NeighborInfo{
+					ID: j, Pos: rec.pos, G: rec.g, Age: age,
+				})
+			}
+		}
+		sort.Slice(s.Infos[i], func(a, b int) bool {
+			return s.Infos[i][a].ID < s.Infos[i][b].ID
+		})
+		return nil
+	})
+}
+
+// PlanStage runs the real CMA planning pass with the received neighbor
+// reports (Table 2 lines 6-18) and applies the velocity limit to produce
+// each mover's tentative next position. The per-node work is always
+// parallel; the mean-force fold runs serially in ascending node order so
+// the non-associative FP sum is reproduced exactly.
+type PlanStage struct{}
+
+// Name implements Stage.
+func (PlanStage) Name() string { return "plan" }
+
+// Run implements Stage.
+func (PlanStage) Run(e *Engine, s *Slot) error {
+	err := e.forNodes(true, func(i int) error {
+		if !s.Alive.Up(i) {
+			return nil
+		}
+		d, err := e.ctrl[i].Plan(e.pos[i], s.Samples[i], s.Infos[i])
+		if err != nil {
+			return fmt.Errorf("node %d plan: %w", i, err)
+		}
+		s.Decisions[i] = d
+		s.ForceLen[i] = d.Fs.Len()
+		if d.Move {
+			s.Next[i] = e.ctrl[i].Step(e.pos[i], d)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range e.pos {
+		if s.Decisions[i].Move {
+			s.Stats.Moved++
+		}
+		if !s.Alive.Up(i) {
+			continue
+		}
+		s.Stats.MeanForce += s.ForceLen[i]
+	}
+	if s.AliveCount > 0 {
+		s.Stats.MeanForce /= float64(s.AliveCount)
+	}
+	return nil
+}
+
+// ResolveStage applies the Local Connectivity Mechanism (Table 2 lines
+// 19-21) to the tentative moves: every pre-move link between alive nodes
+// must survive or be bridged, or the offending endpoints are pulled back
+// together; an unresolvable slot reverts wholesale. Serial: constraint
+// projection is a global fixpoint.
+type ResolveStage struct{}
+
+// Name implements Stage.
+func (ResolveStage) Name() string { return "resolve" }
+
+// Run implements Stage.
+func (ResolveStage) Run(e *Engine, s *Slot) error {
+	resolved, follows := mobile.ResolveLCM(e.dyn.Bounds(), e.opts.Config.Rc, s.Alive, s.Next, s.Infos)
+	s.Next = resolved
+	s.Stats.Followed = follows
+	if follows < 0 { // projection failed: slot reverted
+		s.Stats.Followed = 0
+		s.Stats.Moved = 0
+	}
+	return nil
+}
+
+// MoveStage accounts the realized displacements (movement energy, battery
+// drain on the alive faulty path), invokes the BeforeMove hook, and
+// commits the resolved positions. Serial: the displacement fold is an
+// ordered FP sum and the commit is global.
+type MoveStage struct{}
+
+// Name implements Stage.
+func (MoveStage) Name() string { return "move" }
+
+// Run implements Stage.
+func (MoveStage) Run(e *Engine, s *Slot) error {
+	inj := e.opts.Faults
+	for i := range e.pos {
+		moved := e.pos[i].Dist(s.Next[i])
+		s.Stats.MeanDisplacement += moved
+		s.Stats.EnergySpent += moved
+		e.energy[i] += moved
+		if s.Faulty && s.Alive.Up(i) {
+			inj.SpendSlot(i, moved)
+		}
+	}
+	if s.AliveCount > 0 {
+		s.Stats.MeanDisplacement /= float64(s.AliveCount)
+	}
+	if e.opts.BeforeMove != nil {
+		e.opts.BeforeMove(e.pos, s.Next)
+	}
+	e.pos = s.Next
+	e.epoch++
+	return nil
+}
+
+// AccountStage advances world time and the slot counter and stamps the
+// step statistics.
+type AccountStage struct{}
+
+// Name implements Stage.
+func (AccountStage) Name() string { return "account" }
+
+// Run implements Stage.
+func (AccountStage) Run(e *Engine, s *Slot) error {
+	e.t += e.opts.SlotMinutes
+	e.slot++
+	s.Stats.T = e.t
+	return nil
+}

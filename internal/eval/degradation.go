@@ -12,6 +12,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/view"
 )
 
 // DegradationRow is one point of the δ-versus-failure-rate sweep: how the
@@ -91,15 +92,8 @@ func runDegradation(w *sim.World, slots, deltaN int) (DegradationRow, error) {
 		if w.Connected() {
 			connected++
 		}
-		mask := w.AliveMask()
-		down := make([]bool, len(mask))
-		aliveCount := 0
-		for i, up := range mask {
-			down[i] = !up
-			if up {
-				aliveCount++
-			}
-		}
+		alive := view.Alive{Pos: w.Positions(), Mask: w.AliveMask(), Epoch: s}
+		aliveCount := alive.Count()
 		if aliveCount >= 3 {
 			d, err := w.Delta(deltaN)
 			if err != nil {
@@ -109,9 +103,9 @@ func runDegradation(w *sim.World, slots, deltaN int) (DegradationRow, error) {
 			row.DeltaMean += d
 			deltaSlots++
 		}
-		g := graph.NewUnitDisk(w.Positions(), rc)
-		tree, row.Repairs, row.Rebuilds = maintainTree(tree, g, down, row.Repairs, row.Rebuilds)
-		reachSum += sinkReach(tree, down, aliveCount)
+		g := graph.NewUnitDisk(alive.Pos, rc)
+		tree, row.Repairs, row.Rebuilds = maintainTree(tree, g, alive, row.Repairs, row.Rebuilds)
+		reachSum += sinkReach(tree, alive, aliveCount)
 	}
 	row.ConnectedUptime = float64(connected) / float64(slots)
 	row.SinkReach = reachSum / float64(slots)
@@ -132,10 +126,10 @@ func runDegradation(w *sim.World, slots, deltaN int) (DegradationRow, error) {
 // sink re-election onto the lowest alive vertex) when the sink died or
 // movement broke surviving links. A partial tree over a partitioned network
 // is kept — the reachable side still collects.
-func maintainTree(tree *collect.Tree, g *graph.Graph, down []bool, repairs, rebuilds int) (*collect.Tree, int, int) {
+func maintainTree(tree *collect.Tree, g *graph.Graph, alive view.Alive, repairs, rebuilds int) (*collect.Tree, int, int) {
 	sink := -1
 	for v := 0; v < g.N(); v++ {
-		if !down[v] {
+		if alive.Up(v) {
 			sink = v
 			break
 		}
@@ -145,7 +139,7 @@ func maintainTree(tree *collect.Tree, g *graph.Graph, down []bool, repairs, rebu
 	}
 	rebuild := func() *collect.Tree {
 		rebuilds++
-		t, err := collect.BuildTreeMasked(g, sink, down)
+		t, err := collect.BuildTreeIn(g, sink, alive)
 		if err == nil {
 			return t
 		}
@@ -155,7 +149,7 @@ func maintainTree(tree *collect.Tree, g *graph.Graph, down []bool, repairs, rebu
 		}
 		return nil
 	}
-	if tree == nil || down[tree.Sink] {
+	if tree == nil || !alive.Up(tree.Sink) {
 		return rebuild(), repairs, rebuilds
 	}
 	// Classify route damage: an alive vertex whose parent link left Rc is
@@ -164,13 +158,13 @@ func maintainTree(tree *collect.Tree, g *graph.Graph, down []bool, repairs, rebu
 	deaths := false
 	for v := 0; v < g.N(); v++ {
 		p := tree.Parent[v]
-		if down[v] || p < 0 {
-			if !down[v] && v != tree.Sink {
+		if !alive.Up(v) || p < 0 {
+			if alive.Up(v) && v != tree.Sink {
 				deaths = true // previously unreached alive vertex: try repair
 			}
 			continue
 		}
-		if down[p] {
+		if !alive.Up(p) {
 			deaths = true
 			continue
 		}
@@ -181,7 +175,7 @@ func maintainTree(tree *collect.Tree, g *graph.Graph, down []bool, repairs, rebu
 	if !deaths {
 		return tree, repairs, rebuilds
 	}
-	repaired, _, reparented, err := tree.Repair(g, down)
+	repaired, _, reparented, err := tree.Repair(g, alive)
 	if err != nil {
 		return rebuild(), repairs, rebuilds
 	}
@@ -201,13 +195,13 @@ func adjacent(g *graph.Graph, v, u int) bool {
 
 // sinkReach returns the fraction of alive vertices with a finite route in
 // the tree (0 when the tree is gone or nobody is alive).
-func sinkReach(tree *collect.Tree, down []bool, aliveCount int) float64 {
+func sinkReach(tree *collect.Tree, alive view.Alive, aliveCount int) float64 {
 	if tree == nil || aliveCount == 0 {
 		return 0
 	}
 	reached := 0
-	for v := range down {
-		if down[v] {
+	for v := range tree.Parent {
+		if !alive.Up(v) {
 			continue
 		}
 		if v == tree.Sink || tree.Parent[v] >= 0 {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/spatial"
+	"repro/internal/view"
 )
 
 // Graph is an undirected graph over indexed vertices with optional plane
@@ -88,67 +89,40 @@ func (g *Graph) Connected() bool { return g.NumComponents() <= 1 }
 // NumComponents returns the number of connected components — C(G) in the
 // FRA pseudocode.
 func (g *Graph) NumComponents() int {
-	_, n := g.components()
+	_, n := g.ComponentsIn(view.Alive{})
 	return n
 }
 
 // Components returns, for each vertex, its component label in [0, n), plus
 // the number of components n.
-func (g *Graph) Components() (labels []int, n int) { return g.components() }
-
-func (g *Graph) components() ([]int, int) {
-	labels := make([]int, g.N())
-	for i := range labels {
-		labels[i] = -1
-	}
-	n := 0
-	var queue []int
-	for s := range labels {
-		if labels[s] != -1 {
-			continue
-		}
-		labels[s] = n
-		queue = append(queue[:0], s)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, w := range g.adj[v] {
-				if labels[w] == -1 {
-					labels[w] = n
-					queue = append(queue, w)
-				}
-			}
-		}
-		n++
-	}
-	return labels, n
+func (g *Graph) Components() (labels []int, n int) {
+	return g.ComponentsIn(view.Alive{})
 }
 
-// ComponentsMask returns the component labels of the subgraph induced by
-// the vertices with include[v] true: excluded vertices get label -1 and
-// contribute no edges. A nil mask includes every vertex. n is the number
-// of components among included vertices. This is the connectivity query of
-// a network with failed nodes — dead hardware neither routes nor counts.
-func (g *Graph) ComponentsMask(include []bool) (labels []int, n int) {
-	if include == nil {
-		return g.components()
-	}
+// ComponentsIn returns the component labels of the subgraph induced by the
+// alive vertices of v: dead vertices get label -1 and contribute no edges.
+// Only the view's mask is consulted (the graph carries its own positions);
+// the zero view — nil mask — is the classic all-alive query. n is the
+// number of components among alive vertices. This is the connectivity
+// query of a network with failed nodes — dead hardware neither routes nor
+// counts.
+func (g *Graph) ComponentsIn(v view.Alive) (labels []int, n int) {
 	labels = make([]int, g.N())
 	for i := range labels {
 		labels[i] = -1
 	}
 	var queue []int
 	for s := range labels {
-		if labels[s] != -1 || !include[s] {
+		if labels[s] != -1 || !v.Up(s) {
 			continue
 		}
 		labels[s] = n
 		queue = append(queue[:0], s)
 		for len(queue) > 0 {
-			v := queue[0]
+			u := queue[0]
 			queue = queue[1:]
-			for _, w := range g.adj[v] {
-				if include[w] && labels[w] == -1 {
+			for _, w := range g.adj[u] {
+				if v.Up(w) && labels[w] == -1 {
 					labels[w] = n
 					queue = append(queue, w)
 				}
@@ -159,11 +133,11 @@ func (g *Graph) ComponentsMask(include []bool) (labels []int, n int) {
 	return labels, n
 }
 
-// ConnectedMask reports whether the subgraph induced by the included
-// vertices is connected (an empty or single-vertex induced subgraph counts
-// as connected). A nil mask means Connected.
-func (g *Graph) ConnectedMask(include []bool) bool {
-	_, n := g.ComponentsMask(include)
+// ConnectedIn reports whether the subgraph induced by the alive vertices
+// of v is connected (an empty or single-vertex induced subgraph counts as
+// connected). The zero view means Connected.
+func (g *Graph) ConnectedIn(v view.Alive) bool {
+	_, n := g.ComponentsIn(v)
 	return n <= 1
 }
 
@@ -315,38 +289,47 @@ func (u *UnionFind) NumSets() int { return u.sets }
 // Same reports whether a and b are in the same set.
 func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
 
-// componentMSTEdges returns the inter-component edges of an MST over
-// component representatives, where the distance between two components is
-// the minimum pairwise distance between their member positions, along with
-// the closest member pair realizing each chosen edge.
+// componentLink is one inter-component stitching edge: the closest member
+// pair of two components, where the distance between components is the
+// minimum pairwise distance between their member positions. i and j are
+// the member indices realizing the link (i < j); the relay-oracle paths
+// construct links without them and tie-break on coordinates instead.
 type componentLink struct {
 	a, b geom.Vec2 // closest points of the two linked components
 	dist float64
+	i, j int // member indices realizing the link, for deterministic ties
 }
 
-func componentLinks(positions []geom.Vec2, labels []int, numComp int) []componentLink {
+// betterCand orders candidate links for the same component pair by
+// (dist, i, j) — exactly the order in which the quadratic scan encounters
+// strict minima — so the scan and sweep paths select identical links no
+// matter in which order pairs are enumerated.
+func betterCand(l, cur componentLink) bool {
+	if l.dist != cur.dist {
+		return l.dist < cur.dist
+	}
+	if l.i != cur.i {
+		return l.i < cur.i
+	}
+	return l.j < cur.j
+}
+
+// componentLinks returns the MST stitching links between the components of
+// positions (labels from Components, numComp component count). rcHint, when
+// positive, seeds the radius of the spatial sweep — components are farther
+// than the communication radius apart by construction, so 2·rc is a good
+// first ring. Small inputs use the quadratic scan; large ones the
+// spatial.Index.Pairs sweep. Both paths pick bit-identical links.
+func componentLinks(positions []geom.Vec2, labels []int, numComp int, rcHint float64) []componentLink {
 	if numComp < 2 {
 		return nil
 	}
-	// Minimum pairwise distance between every component pair, O(n²) — the
-	// node counts here are the paper's k ≤ a few hundred. The incremental
-	// path (RelayOracle) avoids this rebuild entirely.
-	best := make(map[pairKey]componentLink)
-	for i := 0; i < len(positions); i++ {
-		for j := i + 1; j < len(positions); j++ {
-			ci, cj := labels[i], labels[j]
-			if ci == cj {
-				continue
-			}
-			if ci > cj {
-				ci, cj = cj, ci
-			}
-			k := pairKey{ci, cj}
-			d := positions[i].Dist(positions[j])
-			if cur, ok := best[k]; !ok || d < cur.dist {
-				best[k] = componentLink{a: positions[i], b: positions[j], dist: d}
-			}
-		}
+	var best map[pairKey]componentLink
+	if len(positions) > unitDiskIndexThreshold && rcHint > 0 {
+		best = componentLinkSweep(positions, labels, numComp, 2*rcHint)
+	}
+	if best == nil {
+		best = componentLinkScan(positions, labels)
 	}
 	// Kruskal over component pairs, cheapest links first.
 	type candidate struct {
@@ -379,6 +362,84 @@ func componentLinks(positions []geom.Vec2, labels []int, numComp int) []componen
 	return out
 }
 
+// componentLinkScan computes the per-component-pair closest links by the
+// O(n²) pairwise scan — fine at the paper's k ≤ a few hundred, and the
+// reference the sweep path is benchmarked and tested against.
+func componentLinkScan(positions []geom.Vec2, labels []int) map[pairKey]componentLink {
+	best := make(map[pairKey]componentLink)
+	for i := 0; i < len(positions); i++ {
+		for j := i + 1; j < len(positions); j++ {
+			ci, cj := labels[i], labels[j]
+			if ci == cj {
+				continue
+			}
+			if ci > cj {
+				ci, cj = cj, ci
+			}
+			k := pairKey{ci, cj}
+			cand := componentLink{a: positions[i], b: positions[j], dist: positions[i].Dist(positions[j]), i: i, j: j}
+			if cur, ok := best[k]; !ok || betterCand(cand, cur) {
+				best[k] = cand
+			}
+		}
+	}
+	return best
+}
+
+// componentLinkSweep computes the same per-pair closest links through
+// expanding spatial.Index.Pairs rings: enumerate all cross-component point
+// pairs within radius r, and stop as soon as the collected links join
+// every component — by the cut property, a minimax (and hence any MST)
+// stitching uses only links no longer than the radius that first connects
+// the component graph, so the candidate set is complete once connectivity
+// is reached. The radius doubles from r0 until connected or until the ring
+// covers the whole bounding box (at which point every pair has been
+// enumerated and the result equals the scan's). Returns nil when an index
+// cannot be built, signalling the caller to fall back to the scan.
+func componentLinkSweep(positions []geom.Vec2, labels []int, numComp int, r0 float64) map[pairKey]componentLink {
+	idx, err := spatial.NewIndex(positions, r0)
+	if err != nil {
+		return nil
+	}
+	bb, _ := geom.BoundingBox(positions)
+	diag := math.Hypot(bb.Width(), bb.Height())
+	for r := r0; ; r *= 2 {
+		best := make(map[pairKey]componentLink)
+		// Query marginally wide, filter on the exact distance: the ring
+		// boundary then never decides by a rounding bit which candidates
+		// this round sees, keeping the sweep's links identical to the
+		// scan's even for pairs at exactly radius r.
+		idx.Pairs(r*(1+1e-9), func(i, j int) {
+			ci, cj := labels[i], labels[j]
+			if ci == cj {
+				return
+			}
+			d := positions[i].Dist(positions[j])
+			if d > r {
+				return
+			}
+			if ci > cj {
+				ci, cj = cj, ci
+			}
+			k := pairKey{ci, cj}
+			cand := componentLink{a: positions[i], b: positions[j], dist: d, i: i, j: j}
+			if cur, ok := best[k]; !ok || betterCand(cand, cur) {
+				best[k] = cand
+			}
+		})
+		if r > diag {
+			return best // every pair enumerated; nothing left to find
+		}
+		uf := NewUnionFind(numComp)
+		for k := range best {
+			uf.Union(k.lo, k.hi)
+		}
+		if uf.NumSets() == 1 {
+			return best
+		}
+	}
+}
+
 // RelaysNeeded returns L(G, rc): the minimum number of additional relay
 // nodes, each with communication radius rc, required to join the
 // components of the unit-disk graph over positions into one connected
@@ -401,7 +462,7 @@ func RelayPositions(positions []geom.Vec2, rc float64) []geom.Vec2 {
 		return nil
 	}
 	var relays []geom.Vec2
-	for _, link := range componentLinks(positions, labels, numComp) {
+	for _, link := range componentLinks(positions, labels, numComp, rc) {
 		hops := int(math.Ceil(link.dist / rc))
 		for s := 1; s < hops; s++ {
 			relays = append(relays, link.a.Lerp(link.b, float64(s)/float64(hops)))

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/geom"
+	"repro/internal/view"
 )
 
 func line(n int, spacing float64) []geom.Vec2 {
@@ -323,16 +324,17 @@ func TestRelayHopSpacing(t *testing.T) {
 	}
 }
 
-func TestComponentsMask(t *testing.T) {
+func TestComponentsIn(t *testing.T) {
 	// A 5-chain at spacing 1, rc 1: connected; masking out the middle
 	// vertex splits it in two; masking the ends leaves the middle triple.
 	pts := []geom.Vec2{geom.V2(0, 0), geom.V2(1, 0), geom.V2(2, 0), geom.V2(3, 0), geom.V2(4, 0)}
 	g := NewUnitDisk(pts, 1)
-	if !g.ConnectedMask(nil) {
-		t.Fatal("nil mask should match Connected")
+	if !g.ConnectedIn(view.Alive{}) {
+		t.Fatal("zero view should match Connected")
 	}
+	in := func(mask []bool) view.Alive { return view.Alive{Pos: pts, Mask: mask} }
 	alive := []bool{true, true, false, true, true}
-	labels, n := g.ComponentsMask(alive)
+	labels, n := g.ComponentsIn(in(alive))
 	if n != 2 {
 		t.Fatalf("components with dead middle = %d, want 2", n)
 	}
@@ -342,16 +344,16 @@ func TestComponentsMask(t *testing.T) {
 	if labels[0] != labels[1] || labels[3] != labels[4] || labels[0] == labels[3] {
 		t.Errorf("labels = %v, want {a,a,-1,b,b}", labels)
 	}
-	if g.ConnectedMask(alive) {
+	if g.ConnectedIn(in(alive)) {
 		t.Error("split chain reported connected")
 	}
-	if !g.ConnectedMask([]bool{false, true, true, true, false}) {
+	if !g.ConnectedIn(in([]bool{false, true, true, true, false})) {
 		t.Error("middle triple should be connected")
 	}
-	if !g.ConnectedMask([]bool{false, false, false, true, false}) {
+	if !g.ConnectedIn(in([]bool{false, false, false, true, false})) {
 		t.Error("single alive vertex should count as connected")
 	}
-	if !g.ConnectedMask(make([]bool, 5)) {
+	if !g.ConnectedIn(in(make([]bool, 5))) {
 		t.Error("empty alive set should count as connected")
 	}
 }

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// clusteredPoints scatters n points over nClusters well-separated blobs so
+// the unit-disk graph at rc splits into several components — the input
+// shape componentLinks exists for.
+func clusteredPoints(rng *rand.Rand, n, nClusters int, spread, gap float64) []geom.Vec2 {
+	centers := make([]geom.Vec2, nClusters)
+	for c := range centers {
+		centers[c] = geom.V2(float64(c%3)*gap, float64(c/3)*gap)
+	}
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		c := centers[i%nClusters]
+		pts[i] = geom.V2(c.X+rng.Float64()*spread, c.Y+rng.Float64()*spread)
+	}
+	return pts
+}
+
+// TestComponentLinkSweepMatchesScan pins the sweep path to the quadratic
+// scan: same per-pair best links (same realizing indices, same distances)
+// and hence the same Kruskal stitching, across random clustered layouts.
+func TestComponentLinkSweepMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rc := 6.0
+	for trial := 0; trial < 20; trial++ {
+		pts := clusteredPoints(rng, 300+trial*17, 2+trial%5, 20, 120)
+		g := NewUnitDisk(pts, rc)
+		labels, numComp := g.Components()
+		if numComp < 2 {
+			t.Fatalf("trial %d: layout unexpectedly connected", trial)
+		}
+		scan := componentLinkScan(pts, labels)
+		sweep := componentLinkSweep(pts, labels, numComp, 2*rc)
+		if sweep == nil {
+			t.Fatalf("trial %d: sweep could not build an index", trial)
+		}
+		// The sweep stops at the first radius that connects the component
+		// graph, so it may omit pairs whose best link is longer than every
+		// MST-relevant one; every link it does report must match the scan
+		// bit for bit, and the final stitching must be identical.
+		for k, l := range sweep {
+			ref, ok := scan[k]
+			if !ok {
+				t.Fatalf("trial %d: sweep invented pair %v", trial, k)
+			}
+			if l != ref {
+				t.Fatalf("trial %d pair %v: sweep link %+v, scan link %+v", trial, k, l, ref)
+			}
+		}
+		want := componentLinks(pts, labels, numComp, 0) // force the scan path
+		got := componentLinks(pts, labels, numComp, rc) // sweep-eligible path
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d stitching links via sweep, %d via scan", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d link %d: sweep %+v, scan %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestComponentLinkSweepFarClusters exercises the radius-doubling loop:
+// clusters far beyond the initial 2·rc ring still get stitched, and the
+// stitching matches the scan.
+func TestComponentLinkSweepFarClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := clusteredPoints(rng, 400, 4, 5, 900) // gaps ≫ 2·rc
+	rc := 3.0
+	g := NewUnitDisk(pts, rc)
+	labels, numComp := g.Components()
+	if numComp < 2 {
+		t.Fatal("layout unexpectedly connected")
+	}
+	want := componentLinks(pts, labels, numComp, 0)
+	got := componentLinks(pts, labels, numComp, rc)
+	if len(got) != len(want) {
+		t.Fatalf("%d links via sweep, %d via scan", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("link %d: sweep %+v, scan %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func benchmarkComponentLinks(b *testing.B, force2Scan bool) {
+	rng := rand.New(rand.NewSource(3))
+	rc := 6.0
+	pts := clusteredPoints(rng, 2000, 6, 25, 150)
+	g := NewUnitDisk(pts, rc)
+	labels, numComp := g.Components()
+	if numComp < 2 {
+		b.Fatal("layout unexpectedly connected")
+	}
+	hint := rc
+	if force2Scan {
+		hint = 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		componentLinks(pts, labels, numComp, hint)
+	}
+}
+
+func BenchmarkComponentLinksScan(b *testing.B)  { benchmarkComponentLinks(b, true) }
+func BenchmarkComponentLinksSweep(b *testing.B) { benchmarkComponentLinks(b, false) }

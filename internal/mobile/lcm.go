@@ -1,6 +1,9 @@
 package mobile
 
-import "repro/internal/geom"
+import (
+	"repro/internal/geom"
+	"repro/internal/view"
+)
 
 // MoveAnnouncement is the tell(nd, N) broadcast of Table 2 line 17: a
 // moving node announces its destination and its current single-hop
@@ -48,4 +51,100 @@ func LCMFollow(pos geom.Vec2, ann MoveAnnouncement, selfID int, rc float64) (geo
 	}
 	const followMargin = 1e-6
 	return ann.Target.Add(dir.Normalize().Scale(rc * (1 - followMargin))), true
+}
+
+// ResolveLCM applies the Local Connectivity Mechanism to a set of
+// tentative next positions. v is the pre-move alive-view of the swarm:
+// v.Pos are the (always feasible) pre-move positions and dead nodes —
+// v.Up(i) false — neither announce, absorb corrections, nor bridge, so
+// their links place no constraints on the survivors. The all-alive view is
+// the classic fault-free LCM.
+//
+// Every edge of the pre-move unit-disk graph (described by neighborInfos,
+// indexed by node) between alive endpoints must either survive at radius
+// rc or be replaced by a current two-hop path through a former common
+// neighbor (the paper's Fig. 4: n4 may stay because n3 bridges; n5 must
+// move with n1). Over-stretched critical links are resolved by symmetric
+// constraint projection — each pulls both endpoints toward each other by
+// half the excess, the cooperative reading of the paper's "moves with"
+// rule that, unlike a one-sided drag, converges when a node has several
+// binding links. Stale neighbor entries can describe links that no longer
+// exist — any critical edge that is already over-stretched at the pre-move
+// positions is skipped rather than allowed to drag the swarm toward a
+// phantom neighbor. When projection fails to converge the movement is
+// reverted wholesale to v.Pos and follows is returned as -1; otherwise
+// follows counts the projection operations performed.
+func ResolveLCM(region geom.Rect, rc float64, v view.Alive, next []geom.Vec2, neighborInfos [][]NeighborInfo) (resolved []geom.Vec2, follows int) {
+	oldPos := v.Pos
+	resolved = append([]geom.Vec2(nil), next...)
+	var oldEdges [][2]int
+	for i := range neighborInfos {
+		if !v.Up(i) {
+			continue
+		}
+		for _, nb := range neighborInfos[i] {
+			if nb.ID <= i || !v.Up(nb.ID) {
+				continue
+			}
+			if oldPos[i].Dist(oldPos[nb.ID]) > rc {
+				continue // stale entry: the link was already gone pre-move
+			}
+			oldEdges = append(oldEdges, [2]int{i, nb.ID})
+		}
+	}
+	limit := rc * (1 - 1e-4) // project slightly inside Rc for FP headroom
+	bridged := func(i, j int) bool {
+		for _, nb := range neighborInfos[i] {
+			b := nb.ID
+			if b == j || !v.Up(b) {
+				continue
+			}
+			if resolved[b].Dist(resolved[i]) <= rc && resolved[b].Dist(resolved[j]) <= rc {
+				// b must be a former neighbor of both endpoints for the
+				// LCM exchange to reach it.
+				for _, nb2 := range neighborInfos[j] {
+					if nb2.ID == b {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	const maxRounds = 200
+	converged := false
+	for round := 0; round < maxRounds; round++ {
+		violated := false
+		for _, e := range oldEdges {
+			i, j := e[0], e[1]
+			d := resolved[i].Dist(resolved[j])
+			if d <= rc || bridged(i, j) {
+				continue
+			}
+			violated = true
+			corr := (d - limit) / 2
+			dir := resolved[j].Sub(resolved[i]).Scale(1 / d)
+			resolved[i] = region.ClampPoint(resolved[i].Add(dir.Scale(corr)))
+			resolved[j] = region.ClampPoint(resolved[j].Sub(dir.Scale(corr)))
+			follows++
+		}
+		if !violated {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		// Final check: accept only if every critical old edge holds.
+		converged = true
+		for _, e := range oldEdges {
+			if resolved[e[0]].Dist(resolved[e[1]]) > rc && !bridged(e[0], e[1]) {
+				converged = false
+				break
+			}
+		}
+		if !converged {
+			return append([]geom.Vec2(nil), oldPos...), -1
+		}
+	}
+	return resolved, follows
 }

@@ -3,24 +3,26 @@
 // a time-varying field, with the paper's sensing (Rs), communication (Rc)
 // and velocity (v) models, per-slot metrics and trace recording.
 //
-// Each slot reproduces the message structure of Table 2 against a
-// consistent snapshot: nodes sense and fit curvature, exchange
+// World is a thin façade over the staged step pipeline in
+// internal/engine: each slot reproduces the message structure of Table 2
+// against a consistent snapshot — nodes sense and fit curvature, exchange
 // (position, G) with single-hop neighbors, compute virtual forces, move
 // under the velocity limit, and apply the Local Connectivity Mechanism to
-// announcements from moving neighbors.
+// announcements from moving neighbors — as the engine's Sense, Fit,
+// Exchange, Plan, Resolve, Move and Account stages.
 package sim
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/geom"
-	"repro/internal/graph"
 	"repro/internal/mobile"
 	"repro/internal/surface"
+	"repro/internal/view"
 )
 
 // ErrNoNodes is returned when a world is created without nodes.
@@ -53,49 +55,19 @@ func DefaultOptions() Options {
 	return Options{Config: mobile.DefaultConfig(), SlotMinutes: 1}
 }
 
-// StepStats summarizes one simulation slot.
-type StepStats struct {
-	// T is the world time in minutes after the step.
-	T float64
-	// Moved is the number of nodes that moved under CMA this slot.
-	Moved int
-	// Followed is the number of LCM follow moves this slot.
-	Followed int
-	// MeanForce is the mean |Fs| over all nodes.
-	MeanForce float64
-	// MeanDisplacement is the mean distance moved this slot.
-	MeanDisplacement float64
-	// EnergySpent is the total movement energy this slot under a
-	// unit-per-meter locomotion model — the quantity behind the paper's
-	// "energy is sufficient for the movement" assumption.
-	EnergySpent float64
-	// Alive is the number of nodes up during this slot (the node count
-	// when no fault injector is attached).
-	Alive int
-}
+// StepStats summarizes one simulation slot. It is the engine's stat
+// record; the alias keeps the sim API stable across the staged-engine
+// refactor.
+type StepStats = engine.StepStats
 
-// World is a deterministic simulation of mobile CPS nodes.
+// World is a deterministic simulation of mobile CPS nodes: a façade over
+// the staged engine that adds trace sampling and the δ evaluation
+// helpers.
 type World struct {
-	dyn     field.DynField
-	opts    Options
-	ctrl    []*mobile.Controller
-	pos     []geom.Vec2
-	sampler *field.Sampler
-	trace   *traceStore
-	t       float64
-	slot    int
-	energy  []float64 // cumulative movement energy per node
-	// heard is each node's last-received neighbor report, used to replay
-	// stale entries when a delivery is lost or a neighbor dies. Only
-	// populated while the fault injector is active.
-	heard []map[int]heardReport
-}
-
-// heardReport caches one received (position, G) announcement.
-type heardReport struct {
-	pos  geom.Vec2
-	g    float64
-	slot int
+	dyn   field.DynField
+	opts  Options
+	eng   *engine.Engine
+	trace *traceStore
 }
 
 // NewWorld creates a world with nodes at the given initial positions.
@@ -113,48 +85,65 @@ func NewWorld(dyn field.DynField, positions []geom.Vec2, opts Options) (*World, 
 		return nil, fmt.Errorf("sim: fault injector built for %d nodes, world has %d",
 			opts.Faults.N(), len(positions))
 	}
-	w := &World{
-		dyn:     dyn,
-		opts:    opts,
-		pos:     append([]geom.Vec2(nil), positions...),
-		sampler: field.NewSampler(opts.NoiseStd, opts.Seed),
-	}
+	w := &World{dyn: dyn, opts: opts}
 	if opts.Trace.Enabled {
 		w.trace = newTraceStore(opts.Trace)
 	}
-	w.energy = make([]float64, len(w.pos))
-	region := dyn.Bounds()
-	for i := range w.pos {
-		w.pos[i] = region.ClampPoint(w.pos[i])
-		c, err := mobile.NewController(i, opts.Config)
-		if err != nil {
-			return nil, fmt.Errorf("sim: controller %d: %w", i, err)
-		}
-		w.ctrl = append(w.ctrl, c)
+	eng, err := engine.New(dyn, positions, engine.Options{
+		Config:      opts.Config,
+		NoiseStd:    opts.NoiseStd,
+		Seed:        opts.Seed,
+		SlotMinutes: opts.SlotMinutes,
+		Faults:      opts.Faults,
+		BeforeMove:  w.beforeMove,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
+	w.eng = eng
 	return w, nil
 }
 
+// beforeMove is the engine's pre-commit hook: it records movement-path
+// trace samples against the pre-advance world time, exactly where the
+// monolithic step did.
+func (w *World) beforeMove(old, next []geom.Vec2) {
+	if w.trace == nil {
+		return
+	}
+	t := w.eng.Time()
+	for i := range old {
+		w.trace.recordPath(w.dyn, old[i], next[i], t)
+	}
+	w.trace.prune(t + w.opts.SlotMinutes)
+}
+
+// Engine returns the underlying staged engine.
+func (w *World) Engine() *engine.Engine { return w.eng }
+
 // N returns the number of nodes.
-func (w *World) N() int { return len(w.pos) }
+func (w *World) N() int { return w.eng.N() }
 
 // Time returns the current world time in minutes.
-func (w *World) Time() float64 { return w.t }
+func (w *World) Time() float64 { return w.eng.Time() }
 
 // Positions returns a copy of the current node positions.
-func (w *World) Positions() []geom.Vec2 {
-	return append([]geom.Vec2(nil), w.pos...)
-}
+func (w *World) Positions() []geom.Vec2 { return w.eng.Positions() }
 
 // Connected reports whether the node network is connected at Rc. With a
 // fault injector attached, dead nodes neither route nor count: the induced
 // subgraph over the alive nodes is tested instead.
 func (w *World) Connected() bool {
-	g := graph.NewUnitDisk(w.pos, w.opts.Config.Rc)
+	return w.eng.ConnectedIn(w.aliveView())
+}
+
+// aliveView returns the current alive view: nil mask without an injector.
+func (w *World) aliveView() view.Alive {
+	v := view.Alive{Pos: w.eng.Pos(), Epoch: w.eng.SlotIndex()}
 	if w.opts.Faults != nil {
-		return g.ConnectedMask(w.opts.Faults.AliveMask(nil))
+		v.Mask = w.opts.Faults.AliveMask(nil)
 	}
-	return g.Connected()
+	return v
 }
 
 // Injector returns the attached fault injector, or nil.
@@ -173,293 +162,36 @@ func (w *World) AliveMask() []bool {
 	return mask
 }
 
-// Step advances the world by one slot. With an active fault injector the
-// slot degrades gracefully: dead nodes neither sense, transmit nor move;
-// lost or silent neighbor reports are replayed from the stale cache with
-// their age so forces decay; batteries drain with movement and the hello
-// broadcast. Without an injector (or with an inert one) the slot is
-// bit-identical to the original fault-free dynamics.
+// Step advances the world by one slot through the engine's stage
+// pipeline. With an active fault injector the slot degrades gracefully:
+// dead nodes neither sense, transmit nor move; lost or silent neighbor
+// reports are replayed from the stale cache with their age so forces
+// decay; batteries drain with movement and the hello broadcast. Without an
+// injector (or with an inert one) the slot is bit-identical to the
+// original fault-free dynamics.
 func (w *World) Step() (StepStats, error) {
-	rc := w.opts.Config.Rc
-	inj := w.opts.Faults
-	faulty := inj != nil && inj.Active()
-	if faulty {
-		inj.BeginSlot(w.slot)
-		if w.heard == nil {
-			w.heard = make([]map[int]heardReport, w.N())
-			for i := range w.heard {
-				w.heard[i] = make(map[int]heardReport)
-			}
-		}
+	st, err := w.eng.Step()
+	if err != nil {
+		return StepStats{}, fmt.Errorf("sim: %w", err)
 	}
-	alive := func(i int) bool { return !faulty || inj.Alive(i) }
-	aliveCount := w.N()
-	if faulty {
-		aliveCount = inj.AliveCount()
-	}
-	g := graph.NewUnitDisk(w.pos, rc)
-
-	// Phase 1: sense and fit curvature (Table 2 lines 2-3). Dead nodes do
-	// not sense; alive ones see their readings through the sensing fault
-	// channel (dropouts, outlier spikes).
-	samples := make([][]field.Sample, w.N())
-	curv := make([]float64, w.N())
-	for i := range w.pos {
-		if !alive(i) {
-			continue
-		}
-		samples[i] = w.sampler.DiscTime(w.dyn, w.pos[i], w.opts.Config.Rs, w.t)
-		if faulty {
-			samples[i] = inj.CorruptSamples(i, samples[i])
-		}
-	}
-
-	// Phase 2: neighbor exchange (lines 4-5). Curvature values come from
-	// each node's Plan below; to keep the exchange causal we first compute
-	// each node's own estimate via a planning dry run on an empty neighbor
-	// set is wasteful — instead Plan reports G, so run Plan in two passes:
-	// pass A with neighbor positions but zero G to obtain own G, pass B
-	// with true neighbor G values. Pass A's force outputs are discarded.
-	for i := range w.pos {
-		if !alive(i) {
-			continue
-		}
-		d, err := w.ctrl[i].Plan(w.pos[i], samples[i], nil)
-		if err != nil {
-			return StepStats{}, fmt.Errorf("sim: node %d estimate: %w", i, err)
-		}
-		curv[i] = d.G
-	}
-	neighborInfos := make([][]mobile.NeighborInfo, w.N())
-	for i := range w.pos {
-		if !alive(i) {
-			continue
-		}
-		for _, j := range g.Neighbors(i) {
-			if !alive(j) {
-				continue // dead neighbors announce nothing
-			}
-			if faulty && inj.DropLink(w.slot, j, i) {
-				continue // delivery lost; the stale cache may fill in below
-			}
-			neighborInfos[i] = append(neighborInfos[i], mobile.NeighborInfo{
-				ID: j, Pos: w.pos[j], G: curv[j],
-			})
-			if faulty {
-				w.heard[i][j] = heardReport{pos: w.pos[j], g: curv[j], slot: w.slot}
-			}
-		}
-		if faulty {
-			// Replay stale cached reports for neighbors that went silent
-			// this slot — a lost delivery, a death, or a move out of range.
-			// Entries older than StaleSlots are presumed dead and dropped.
-			heardNow := make(map[int]bool, len(neighborInfos[i]))
-			for _, nb := range neighborInfos[i] {
-				heardNow[nb.ID] = true
-			}
-			for j, rec := range w.heard[i] {
-				if heardNow[j] {
-					continue
-				}
-				age := w.slot - rec.slot
-				if age > inj.StaleSlots() {
-					delete(w.heard[i], j)
-					continue
-				}
-				neighborInfos[i] = append(neighborInfos[i], mobile.NeighborInfo{
-					ID: j, Pos: rec.pos, G: rec.g, Age: age,
-				})
-			}
-		}
-		sort.Slice(neighborInfos[i], func(a, b int) bool {
-			return neighborInfos[i][a].ID < neighborInfos[i][b].ID
-		})
-	}
-
-	// Phase 3: force computation and movement decision (lines 6-18).
-	decisions := make([]mobile.Decision, w.N())
-	var stats StepStats
-	stats.Alive = aliveCount
-	for i := range w.pos {
-		if !alive(i) {
-			continue
-		}
-		d, err := w.ctrl[i].Plan(w.pos[i], samples[i], neighborInfos[i])
-		if err != nil {
-			return StepStats{}, fmt.Errorf("sim: node %d plan: %w", i, err)
-		}
-		decisions[i] = d
-		stats.MeanForce += d.Fs.Len()
-	}
-	if aliveCount > 0 {
-		stats.MeanForce /= float64(aliveCount)
-	}
-
-	// Phase 4: apply CMA moves under the velocity limit.
-	next := append([]geom.Vec2(nil), w.pos...)
-	for i, d := range decisions {
-		if !d.Move {
-			continue
-		}
-		next[i] = w.ctrl[i].Step(w.pos[i], d)
-		stats.Moved++
-	}
-
-	// Phase 5: LCM (lines 19-21): resolve the connectivity constraints of
-	// the announced moves (see ResolveLCM). Dead nodes neither announce
-	// nor bridge, so their links place no constraints.
-	var downMask []bool
-	if faulty {
-		downMask = make([]bool, w.N())
-		for i := range downMask {
-			downMask[i] = !inj.Alive(i)
-		}
-	}
-	resolved, follows := resolveLCMMasked(w.dyn.Bounds(), rc, w.pos, next, neighborInfos, downMask)
-	next = resolved
-	stats.Followed = follows
-	if follows < 0 { // projection failed: slot reverted
-		stats.Followed = 0
-		stats.Moved = 0
-	}
-
-	for i := range w.pos {
-		moved := w.pos[i].Dist(next[i])
-		stats.MeanDisplacement += moved
-		stats.EnergySpent += moved
-		w.energy[i] += moved
-		if faulty && inj.Alive(i) {
-			inj.SpendSlot(i, moved)
-		}
-	}
-	if aliveCount > 0 {
-		stats.MeanDisplacement /= float64(aliveCount)
-	}
-
-	if w.trace != nil {
-		for i := range w.pos {
-			w.trace.recordPath(w.dyn, w.pos[i], next[i], w.t)
-		}
-		w.trace.prune(w.t + w.opts.SlotMinutes)
-	}
-
-	w.pos = next
-	w.t += w.opts.SlotMinutes
-	w.slot++
-	stats.T = w.t
-	return stats, nil
+	return st, nil
 }
 
 // ResolveLCM applies the Local Connectivity Mechanism to a set of
-// tentative next positions. Every edge of the pre-move unit-disk graph
-// (described by neighborInfos, indexed by node) must either survive at
-// radius rc or be replaced by a current two-hop path through a former
-// common neighbor (the paper's Fig. 4: n4 may stay because n3 bridges; n5
-// must move with n1). Over-stretched critical links are resolved by
-// symmetric constraint projection — each pulls both endpoints toward each
-// other by half the excess, the cooperative reading of the paper's
-// "moves with" rule that, unlike a one-sided drag, converges when a node
-// has several binding links. The pre-move positions oldPos are always
-// feasible, so when projection fails to converge the movement is reverted
-// wholesale and follows is returned as -1; otherwise follows counts the
-// projection operations performed.
+// tentative next positions over the all-alive view; it is a shim over
+// mobile.ResolveLCM, which documents the projection semantics. The
+// pre-move positions oldPos must be feasible; when projection fails the
+// movement is reverted wholesale and follows is -1.
 func ResolveLCM(region geom.Rect, rc float64, oldPos, next []geom.Vec2, neighborInfos [][]mobile.NeighborInfo) (resolved []geom.Vec2, follows int) {
-	return resolveLCMMasked(region, rc, oldPos, next, neighborInfos, nil)
-}
-
-// resolveLCMMasked is ResolveLCM with graceful degradation under node
-// failures: down vertices neither announce, absorb corrections, nor bridge,
-// so their links place no constraints on the survivors. Stale neighbor
-// entries can describe links that no longer exist — any critical edge that
-// is already over-stretched at the (always feasible on the classic path)
-// pre-move positions is skipped rather than allowed to drag the swarm
-// toward a phantom neighbor. A nil mask is exactly ResolveLCM.
-func resolveLCMMasked(region geom.Rect, rc float64, oldPos, next []geom.Vec2, neighborInfos [][]mobile.NeighborInfo, down []bool) (resolved []geom.Vec2, follows int) {
-	resolved = append([]geom.Vec2(nil), next...)
-	var oldEdges [][2]int
-	for i := range neighborInfos {
-		if down != nil && down[i] {
-			continue
-		}
-		for _, nb := range neighborInfos[i] {
-			if nb.ID <= i || (down != nil && down[nb.ID]) {
-				continue
-			}
-			if oldPos[i].Dist(oldPos[nb.ID]) > rc {
-				continue // stale entry: the link was already gone pre-move
-			}
-			oldEdges = append(oldEdges, [2]int{i, nb.ID})
-		}
-	}
-	limit := rc * (1 - 1e-4) // project slightly inside Rc for FP headroom
-	bridged := func(i, j int) bool {
-		for _, nb := range neighborInfos[i] {
-			b := nb.ID
-			if b == j || (down != nil && down[b]) {
-				continue
-			}
-			if resolved[b].Dist(resolved[i]) <= rc && resolved[b].Dist(resolved[j]) <= rc {
-				// b must be a former neighbor of both endpoints for the
-				// LCM exchange to reach it.
-				for _, nb2 := range neighborInfos[j] {
-					if nb2.ID == b {
-						return true
-					}
-				}
-			}
-		}
-		return false
-	}
-	const maxRounds = 200
-	converged := false
-	for round := 0; round < maxRounds; round++ {
-		violated := false
-		for _, e := range oldEdges {
-			i, j := e[0], e[1]
-			d := resolved[i].Dist(resolved[j])
-			if d <= rc || bridged(i, j) {
-				continue
-			}
-			violated = true
-			corr := (d - limit) / 2
-			dir := resolved[j].Sub(resolved[i]).Scale(1 / d)
-			resolved[i] = region.ClampPoint(resolved[i].Add(dir.Scale(corr)))
-			resolved[j] = region.ClampPoint(resolved[j].Sub(dir.Scale(corr)))
-			follows++
-		}
-		if !violated {
-			converged = true
-			break
-		}
-	}
-	if !converged {
-		// Final check: accept only if every critical old edge holds.
-		converged = true
-		for _, e := range oldEdges {
-			if resolved[e[0]].Dist(resolved[e[1]]) > rc && !bridged(e[0], e[1]) {
-				converged = false
-				break
-			}
-		}
-		if !converged {
-			return append([]geom.Vec2(nil), oldPos...), -1
-		}
-	}
-	return resolved, follows
+	return mobile.ResolveLCM(region, rc, view.All(oldPos), next, neighborInfos)
 }
 
 // NodeEnergy returns the cumulative movement energy (meters traveled)
 // of node i since the world started.
-func (w *World) NodeEnergy(i int) float64 { return w.energy[i] }
+func (w *World) NodeEnergy(i int) float64 { return w.eng.NodeEnergy(i) }
 
 // TotalEnergy returns the cumulative movement energy of the whole swarm.
-func (w *World) TotalEnergy() float64 {
-	s := 0.0
-	for _, e := range w.energy {
-		s += e
-	}
-	return s
-}
+func (w *World) TotalEnergy() float64 { return w.eng.TotalEnergy() }
 
 // Delta computes the paper's δ for the current node positions against the
 // current field slice, reconstructing by Delaunay interpolation on an
@@ -467,9 +199,9 @@ func (w *World) TotalEnergy() float64 {
 // contribute no samples — the reconstruction degrades to what the
 // surviving swarm can actually report.
 func (w *World) Delta(n int) (float64, error) {
-	slice := field.Slice(w.dyn, w.t)
+	slice := field.Slice(w.dyn, w.eng.Time())
 	samples := make([]field.Sample, 0, w.N())
-	for i, p := range w.pos {
+	for i, p := range w.eng.Pos() {
 		if w.opts.Faults != nil && !w.opts.Faults.Alive(i) {
 			continue
 		}

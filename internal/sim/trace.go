@@ -104,12 +104,12 @@ func (w *World) DeltaTrace(n int) (float64, error) {
 	if w.trace == nil {
 		return 0, fmt.Errorf("sim: trace sampling not enabled")
 	}
-	slice := field.Slice(w.dyn, w.t)
+	slice := field.Slice(w.dyn, w.eng.Time())
 	samples := make([]field.Sample, 0, w.N()+w.trace.size())
-	for _, p := range w.pos {
+	for _, p := range w.eng.Pos() {
 		samples = append(samples, field.Sample{Pos: p, Z: slice.Eval(p)})
 	}
-	samples = append(samples, w.trace.fresh(w.t)...)
+	samples = append(samples, w.trace.fresh(w.eng.Time())...)
 	d, err := surface.DeltaSamples(slice, samples, n)
 	if err != nil {
 		return 0, fmt.Errorf("sim: trace delta: %w", err)
@@ -123,6 +123,6 @@ func (w *World) TraceSampleCount() int {
 	if w.trace == nil {
 		return 0
 	}
-	w.trace.prune(w.t)
+	w.trace.prune(w.eng.Time())
 	return w.trace.size()
 }

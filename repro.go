@@ -43,6 +43,7 @@ import (
 	"repro/internal/mobile"
 	"repro/internal/sim"
 	"repro/internal/surface"
+	"repro/internal/view"
 )
 
 // Geometry and field primitives.
@@ -288,7 +289,7 @@ func BuildCollectionTree(positions []Vec2, rc float64, sink int) (*CollectionTre
 // vertices with down[v] false: failed vertices neither route nor count as
 // unreached. A nil mask includes every vertex.
 func BuildCollectionTreeMasked(positions []Vec2, rc float64, sink int, down []bool) (*CollectionTree, error) {
-	return collect.BuildTreeMasked(graph.NewUnitDisk(positions, rc), sink, down)
+	return collect.BuildTreeIn(graph.NewUnitDisk(positions, rc), sink, view.FromDown(positions, down))
 }
 
 // RepairCollectionTree re-routes a collection tree around failed vertices
@@ -297,7 +298,7 @@ func BuildCollectionTreeMasked(positions []Vec2, rc float64, sink int, down []bo
 // the alive vertices left unreachable, and the re-parented count; the
 // input tree is not modified.
 func RepairCollectionTree(t *CollectionTree, positions []Vec2, rc float64, down []bool) (*CollectionTree, []int, int, error) {
-	return t.Repair(graph.NewUnitDisk(positions, rc), down)
+	return t.Repair(graph.NewUnitDisk(positions, rc), view.FromDown(positions, down))
 }
 
 // CollectionCost computes the per-epoch convergecast cost of the network
