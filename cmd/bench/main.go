@@ -1,0 +1,348 @@
+// Command bench is the repo's performance harness: it runs the canonical
+// OSD/OSTD scenarios through testing.Benchmark, measures the
+// reproduction's quality metrics (δ, convergence), and writes a
+// machine-readable BENCH_<rev>.json that the CI bench-regression job
+// compares against the merge base.
+//
+// Usage:
+//
+//	bench                                  # full run, writes BENCH_<rev>.json
+//	bench -quick -out /tmp/b.json          # one iteration per scenario
+//	bench -compare -tol 0.15 -gate fra_k500,step_large_n base.json pr.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Result is one benchmark scenario's measurement.
+type Result struct {
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Iters is the iteration count testing.Benchmark settled on.
+	Iters int `json:"iters"`
+}
+
+// Report is the file format of BENCH_<rev>.json.
+type Report struct {
+	// Rev identifies the commit the numbers belong to.
+	Rev string `json:"rev"`
+	// GoVersion is runtime.Version at measurement time.
+	GoVersion string `json:"go_version"`
+	// Quick marks reduced-iteration runs, which are not comparable.
+	Quick bool `json:"quick,omitempty"`
+	// Benchmarks maps scenario name to its measurement.
+	Benchmarks map[string]Result `json:"benchmarks"`
+	// Quality maps quality-metric name (δ, convergence slot) to value.
+	Quality map[string]float64 `json:"quality"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	testing.Init()
+
+	var (
+		out     = flag.String("out", "", "output file (default BENCH_<rev>.json)")
+		rev     = flag.String("rev", "", "revision label (default git short HEAD)")
+		quick   = flag.Bool("quick", false, "run one iteration per scenario (fast, not comparable)")
+		compare = flag.Bool("compare", false, "compare two report files: bench -compare base.json pr.json")
+		tol     = flag.Float64("tol", 0.15, "allowed ns/op regression fraction in -compare mode")
+		gate    = flag.String("gate", "fra_k500,step_large_n", "comma-separated scenarios that fail -compare on regression")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: bench -compare [-tol F] [-gate a,b] base.json pr.json")
+		}
+		ok, err := compareReports(os.Stdout, flag.Arg(0), flag.Arg(1), *tol, gateSet(*gate))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *quick {
+		// One iteration per scenario: exercises every code path in
+		// seconds. The numbers are smoke, not measurements.
+		if err := flag.Set("test.benchtime", "1x"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+
+	rep := Report{
+		Rev:        *rev,
+		GoVersion:  runtime.Version(),
+		Quick:      *quick,
+		Benchmarks: map[string]Result{},
+		Quality:    map[string]float64{},
+	}
+	forest := field.NewForest(field.DefaultForestConfig())
+	for _, sc := range scenarios(forest) {
+		fmt.Printf("running %-14s ... ", sc.name)
+		r := testing.Benchmark(sc.bench)
+		res := Result{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iters:       r.N,
+		}
+		rep.Benchmarks[sc.name] = res
+		fmt.Printf("%12.0f ns/op  %8d allocs/op  (n=%d)\n", res.NsPerOp, res.AllocsPerOp, res.Iters)
+	}
+	if err := quality(forest, rep.Quality, *quick); err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range sortedKeys(rep.Quality) {
+		fmt.Printf("quality %-20s %g\n", k, rep.Quality[k])
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(rep)
+	cerr := f.Close()
+	if werr != nil {
+		log.Fatal(werr)
+	}
+	if cerr != nil {
+		log.Fatal(cerr)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// scenario is one named benchmark body.
+type scenario struct {
+	name  string
+	bench func(b *testing.B)
+}
+
+// scenarios returns the canonical suite: the two FRA placements the CI
+// gate watches, the n=2000 engine step, and one OSTD simulation round.
+func scenarios(forest *field.Forest) []scenario {
+	ref := forest.Reference()
+	return []scenario{
+		{"fra_k100", benchFRA(ref, 100)},
+		{"fra_k500", benchFRA(ref, 500)},
+		{"step_large_n", benchStep(forest, randomLayout(forest.Bounds(), 2000, 17))},
+		{"ostd_round", benchStep(forest, field.GridLayout(forest.Bounds(), 100))},
+	}
+}
+
+// benchFRA measures one full FRA placement at node count k.
+func benchFRA(ref field.Field, k int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.FRA(ref, core.FRAOptions{K: k, Rc: 10, GridN: 100, AnchorCorners: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchStep measures one simulation slot from the given initial layout.
+// The field is time-varying, so successive iterations sample successive
+// slots — the same regime the CI engine smoke measures.
+func benchStep(forest *field.Forest, init []geom.Vec2) func(b *testing.B) {
+	return func(b *testing.B) {
+		w, err := sim.NewWorld(forest, init, sim.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// randomLayout mirrors the engine benchmark's uniform seed-17 layout.
+func randomLayout(bb geom.Rect, n int, seed int64) []geom.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Vec2, n)
+	for i := range pts {
+		pts[i] = geom.V2(bb.Min.X+rng.Float64()*bb.Width(), bb.Min.Y+rng.Float64()*bb.Height())
+	}
+	return pts
+}
+
+// quality records the reproduction-accuracy metrics: the deterministic
+// FRA δ at k=100 and the OSTD run's final δ and convergence slot
+// (-1 when the run does not converge).
+func quality(forest *field.Forest, out map[string]float64, quick bool) error {
+	ref := forest.Reference()
+	p, err := core.FRA(ref, core.FRAOptions{K: 100, Rc: 10, GridN: 100, AnchorCorners: true})
+	if err != nil {
+		return err
+	}
+	ev, err := core.Evaluate(ref, p, 10, 100)
+	if err != nil {
+		return err
+	}
+	out["fra_k100_delta"] = ev.Delta
+
+	slots, deltaN := 45, 100
+	if quick {
+		slots, deltaN = 10, 50
+	}
+	w, err := sim.NewWorld(forest, field.GridLayout(forest.Bounds(), 100), sim.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	rows := make([]eval.DeltaVsTimeRow, 0, slots)
+	for s := 0; s < slots; s++ {
+		st, err := w.Step()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, eval.DeltaVsTimeRow{
+			T: st.T, Moved: st.Moved, MeanDisplacement: st.MeanDisplacement,
+		})
+	}
+	d, err := w.Delta(deltaN)
+	if err != nil {
+		return err
+	}
+	out["ostd_final_delta"] = d
+	out["ostd_convergence_slot"] = -1
+	if conv, ok := eval.ConvergenceTime(rows, 0.1); ok {
+		out["ostd_convergence_slot"] = conv
+	}
+	return nil
+}
+
+// gitRev labels the report with the current commit, "dev" outside git.
+func gitRev() string {
+	b, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// gateSet parses the -gate list into a lookup set.
+func gateSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out[part] = true
+		}
+	}
+	return out
+}
+
+// readReport loads one BENCH_*.json.
+func readReport(path string) (Report, error) {
+	var rep Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports prints a scenario-by-scenario ratio table and reports
+// whether every gated scenario stayed within the tolerance. Scenarios
+// missing from the base (new benchmarks) pass; quick-mode reports are
+// rejected because their timings are single-shot noise.
+func compareReports(w *os.File, basePath, prPath string, tol float64, gated map[string]bool) (bool, error) {
+	base, err := readReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	pr, err := readReport(prPath)
+	if err != nil {
+		return false, err
+	}
+	if base.Quick || pr.Quick {
+		return false, fmt.Errorf("refusing to compare -quick reports (%s vs %s)", basePath, prPath)
+	}
+	ok := true
+	fmt.Fprintf(w, "base %s vs pr %s (tolerance %.0f%%)\n", base.Rev, pr.Rev, tol*100)
+	for _, name := range sortedKeys(pr.Benchmarks) {
+		cur := pr.Benchmarks[name]
+		old, seen := base.Benchmarks[name]
+		if !seen || old.NsPerOp <= 0 {
+			fmt.Fprintf(w, "  %-14s %12.0f ns/op  (new)\n", name, cur.NsPerOp)
+			continue
+		}
+		ratio := cur.NsPerOp / old.NsPerOp
+		verdict := "ok"
+		if ratio > 1+tol {
+			if gated[name] {
+				verdict = "REGRESSION"
+				ok = false
+			} else {
+				verdict = "slower (ungated)"
+			}
+		}
+		fmt.Fprintf(w, "  %-14s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, old.NsPerOp, cur.NsPerOp, (ratio-1)*100, verdict)
+	}
+	for _, name := range sortedKeys(pr.Quality) {
+		cur := pr.Quality[name]
+		if old, seen := base.Quality[name]; seen && !almostEqual(old, cur) {
+			fmt.Fprintf(w, "  quality %-20s %g -> %g\n", name, old, cur)
+		}
+	}
+	if !ok {
+		fmt.Fprintln(w, "FAIL: gated benchmark regressed beyond tolerance")
+	}
+	return ok, nil
+}
+
+// almostEqual absorbs float formatting jitter in quality comparisons.
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// sortedKeys returns m's keys in sorted order for stable output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

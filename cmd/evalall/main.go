@@ -9,8 +9,11 @@
 //	evalall           # quick profile (coarser lattices, fewer k points)
 //	evalall -full     # the paper's full resolution (slower)
 //
-// -cpuprofile and -memprofile write pprof profiles of the run, for
-// inspecting where the evaluation pipeline spends its time.
+// -cpuprofile and -memprofile write pprof profiles of the run, and the
+// shared observability flags (-metrics-json, -metrics-prom, -pprof,
+// -report; see internal/obs/obscli) export where the evaluation pipeline
+// spends its time. Profile handles are closed — and write errors
+// reported — on every exit path, including early errors.
 package main
 
 import (
@@ -18,12 +21,12 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
-	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/field"
+	"repro/internal/obs"
+	"repro/internal/obs/obscli"
 	"repro/internal/sim"
 )
 
@@ -33,38 +36,29 @@ func main() {
 
 	full := flag.Bool("full", false, "run at the paper's full resolution")
 	ext := flag.Bool("ext", false, "also run the extension experiments (network cost, CMA vs centralized)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	reg := obs.NewRegistry()
+	run := obscli.New(reg)
+	run.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+	if err := run.Start(); err != nil {
+		log.Fatal(err)
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
-			}
-		}()
+	err := realMain(*full, *ext, reg)
+	// Close before exiting so profiles and metric exports are flushed and
+	// closed on the error path too; its own failure is still reported.
+	if cerr := run.Close(); err == nil {
+		err = cerr
 	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
 
+func realMain(full, ext bool, reg *obs.Registry) error {
 	gridN, deltaN, slots := 50, 50, 30
 	ks := []int{1, 10, 25, 50, 75, 100, 125, 150, 200}
-	if *full {
+	if full {
 		gridN, deltaN, slots = 100, 100, 45
 		ks = nil
 		for k := 1; k <= 200; k += 5 {
@@ -79,33 +73,35 @@ func main() {
 	cwdOpts := core.DefaultCWDOptions(16)
 	cwdRows, err := eval.CompareCWD(field.Peaks(ref.Bounds()), cwdOpts, deltaN)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := eval.WriteCWDTable(os.Stdout, cwdRows); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Println("\n=== Fig. 7: δ vs k, FRA vs random deployment ===")
 	kOpts := eval.DeltaVsKOptions{Rc: 10, GridN: gridN, DeltaN: deltaN, RandomDraws: 5, Seed: 1}
 	kRows, err := eval.DeltaVsK(ref, ks, kOpts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := eval.WriteDeltaVsKTable(os.Stdout, kRows); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Println("\n=== Fig. 10: δ vs time, 100 mobile nodes with CMA ===")
-	w, err := sim.NewWorld(forest, field.GridLayout(forest.Bounds(), 100), sim.DefaultOptions())
+	simOpts := sim.DefaultOptions()
+	simOpts.Metrics = reg
+	w, err := sim.NewWorld(forest, field.GridLayout(forest.Bounds(), 100), simOpts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tRows, err := eval.DeltaVsTime(w, slots, deltaN)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := eval.WriteDeltaVsTimeTable(os.Stdout, tRows); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if conv, ok := eval.ConvergenceTime(tRows, 0.1); ok {
 		fmt.Printf("CMA converged at t=%.0f min\n", conv)
@@ -114,40 +110,38 @@ func main() {
 	}
 
 	// The paper's final comparison: converged CMA δ vs FRA δ at k=100.
-	fraOpts := core.FRAOptions{K: 100, Rc: 10, GridN: gridN, AnchorCorners: true}
+	fraOpts := core.FRAOptions{K: 100, Rc: 10, GridN: gridN, AnchorCorners: true, Metrics: reg}
 	// Compare on the field slice at the end of the mobile run.
 	endSlice := field.Slice(forest, w.Time())
 	p, err := core.FRA(endSlice, fraOpts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fraEv, err := core.Evaluate(endSlice, p, 10, deltaN)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cmaDelta := tRows[len(tRows)-1].Delta
 	fmt.Printf("\nfinal comparison at t=%.0f: CMA δ=%.1f vs FRA δ=%.1f (ratio %.2f; paper reports ≈1.16)\n",
 		w.Time(), cmaDelta, fraEv.Delta, cmaDelta/fraEv.Delta)
 
-	if !*ext {
-		return
+	if !ext {
+		return nil
 	}
 
 	fmt.Println("\n=== Extension: collection cost & robustness of FRA networks ===")
 	nRows, err := eval.NetworkVsK(ref, []int{50, 100, 150}, kOpts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := eval.WriteNetworkTable(os.Stdout, nRows); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Println("\n=== Extension: CMA vs centralized replanning (100 nodes, 20 min) ===")
 	mRows, err := eval.CompareMobile(forest, 100, 20, deltaN)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := eval.WriteMobileTable(os.Stdout, mRows); err != nil {
-		log.Fatal(err)
-	}
+	return eval.WriteMobileTable(os.Stdout, mRows)
 }

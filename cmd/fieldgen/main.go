@@ -17,7 +17,25 @@ import (
 	"strings"
 
 	"repro/internal/field"
+	"repro/internal/obs"
+	"repro/internal/obs/obscli"
 )
+
+// obsRun is the command's observability edge (see internal/obs/obscli);
+// fatal/fatalf close it first so profiles and metric files are flushed on
+// error exits too.
+var obsRun *obscli.Run
+
+func fatal(v ...any)                 { obsRun.Close(); log.Fatal(v...) }
+func fatalf(format string, v ...any) { obsRun.Close(); log.Fatalf(format, v...) }
+
+// closeRun flushes the observability outputs at a success exit, failing
+// the command if an export cannot be written.
+func closeRun() {
+	if err := obsRun.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -31,11 +49,16 @@ func main() {
 		gaps  = flag.Int("gaps", 12, "number of canopy gaps")
 		noise = flag.Float64("noise", 0, "sensing noise standard deviation")
 	)
+	obsRun = obscli.New(obs.NewRegistry())
+	obsRun.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsRun.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	ts, err := parseTimes(*times)
 	if err != nil {
-		log.Fatalf("bad -times: %v", err)
+		fatalf("bad -times: %v", err)
 	}
 
 	cfg := field.DefaultForestConfig()
@@ -49,18 +72,19 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}()
 		w = f
 	}
 	if err := field.WriteTrace(w, records); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	closeRun()
 }
 
 func parseTimes(s string) ([]float64, error) {

@@ -24,7 +24,24 @@ import (
 	"repro/internal/field"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/obs/obscli"
 )
+
+// obsRun is the command's observability edge (see internal/obs/obscli);
+// fatal closes it first so profiles and metric files are flushed on
+// error exits too.
+var obsRun *obscli.Run
+
+func fatal(v ...any) { obsRun.Close(); log.Fatal(v...) }
+
+// closeRun flushes the observability outputs at a success exit, failing
+// the command if an export cannot be written.
+func closeRun() {
+	if err := obsRun.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,35 +53,41 @@ func main() {
 		rc      = flag.Float64("rc", 10, "communication radius")
 		gridN   = flag.Int("grid", 50, "FRA local-error lattice divisions")
 	)
+	reg := obs.NewRegistry()
+	obsRun = obscli.New(reg)
+	obsRun.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsRun.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	var nodes []geom.Vec2
 	switch {
 	case *posFile != "":
 		f, err := os.Open(*posFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		nodes, err = readPositions(f)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	case *fraK > 0:
 		ref := field.NewForest(field.DefaultForestConfig()).Reference()
 		p, err := core.FRA(ref, core.FRAOptions{
-			K: *fraK, Rc: *rc, GridN: *gridN, AnchorCorners: true,
+			K: *fraK, Rc: *rc, GridN: *gridN, AnchorCorners: true, Metrics: reg,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		nodes = p.Nodes
 		fmt.Printf("FRA placement: %d refined + %d relays\n", p.Refined, p.Relays)
 	default:
-		log.Fatal("need -pos FILE or -fra K")
+		fatal("need -pos FILE or -fra K")
 	}
 	if len(nodes) == 0 {
-		log.Fatal("no nodes")
+		fatal("no nodes")
 	}
 
 	g := graph.NewUnitDisk(nodes, *rc)
@@ -78,12 +101,13 @@ func main() {
 		for _, r := range relays {
 			fmt.Printf("  relay at %v\n", r)
 		}
+		closeRun()
 		return
 	}
 
 	sink, stats, err := collect.BestSink(g)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("collection (best sink = node %d): %d tx/epoch, energy %.0f, max depth %d, bottleneck %d tx\n",
 		sink, stats.TotalTx, stats.Energy, stats.MaxDepth, stats.Bottleneck)
@@ -94,6 +118,7 @@ func main() {
 	for _, v := range rob.ArticulationPoints {
 		fmt.Printf("  single point of failure: node %d at %v\n", v, g.Pos(v))
 	}
+	closeRun()
 }
 
 // readPositions parses x,y rows; a non-numeric first row is treated as a

@@ -20,8 +20,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/field"
+	"repro/internal/obs"
+	"repro/internal/obs/obscli"
 	"repro/internal/surface"
 )
+
+// obsRun is the command's observability edge (see internal/obs/obscli);
+// fatal/fatalf close it first so profiles and metric files are flushed on
+// error exits too.
+var obsRun *obscli.Run
+
+func fatal(v ...any)                 { obsRun.Close(); log.Fatal(v...) }
+func fatalf(format string, v ...any) { obsRun.Close(); log.Fatalf(format, v...) }
+
+// closeRun flushes the observability outputs at a success exit, failing
+// the command if an export cannot be written.
+func closeRun() {
+	if err := obsRun.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -38,7 +56,13 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV instead of a text table")
 		quiet  = flag.Bool("quiet", false, "suppress surface renders")
 	)
+	reg := obs.NewRegistry()
+	obsRun = obscli.New(reg)
+	obsRun.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsRun.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	forest := field.NewForest(field.DefaultForestConfig())
 	ref := forest.Reference()
@@ -46,15 +70,15 @@ func main() {
 	if *sweep != "" {
 		ks, err := parseSweep(*sweep)
 		if err != nil {
-			log.Fatalf("bad -sweep: %v", err)
+			fatalf("bad -sweep: %v", err)
 		}
 		opts := eval.DeltaVsKOptions{
 			Rc: *rc, GridN: *gridN, DeltaN: *deltaN,
-			RandomDraws: *draws, Seed: *seed,
+			RandomDraws: *draws, Seed: *seed, Metrics: reg,
 		}
 		rows, err := eval.DeltaVsK(ref, ks, opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if *csv {
 			err = eval.WriteDeltaVsKCSV(os.Stdout, rows)
@@ -62,29 +86,31 @@ func main() {
 			err = eval.WriteDeltaVsKTable(os.Stdout, rows)
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
+		closeRun()
 		return
 	}
 
-	opts := core.FRAOptions{K: *k, Rc: *rc, GridN: *gridN, AnchorCorners: true}
+	opts := core.FRAOptions{K: *k, Rc: *rc, GridN: *gridN, AnchorCorners: true, Metrics: reg}
 	p, err := core.FRA(ref, opts)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	ev, err := core.Evaluate(ref, p, *rc, *deltaN)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("FRA k=%d: δ=%.1f refined=%d relays=%d connected=%v components=%d mean_degree=%.2f\n",
 		*k, ev.Delta, p.Refined, p.Relays, ev.Connected, ev.Components, ev.MeanDegree)
 
 	if *quiet {
+		closeRun()
 		return
 	}
 	fmt.Println("\ntopology (o = node, . = Rc link):")
 	if err := surface.RenderTopologyASCII(os.Stdout, ref.Bounds(), p.Nodes, *rc, 72, 36); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	samples := make([]field.Sample, 0, len(p.Nodes)+len(p.Anchors))
@@ -96,16 +122,17 @@ func main() {
 	}
 	tin, err := surface.FromSamples(ref.Bounds(), samples)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\nreference surface:")
 	if err := surface.RenderASCII(os.Stdout, ref, 72, 36); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\nrebuilt surface (Delaunay interpolation of node samples):")
 	if err := surface.RenderASCII(os.Stdout, tin, 72, 36); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	closeRun()
 }
 
 func parseSweep(s string) ([]int, error) {

@@ -25,9 +25,27 @@ import (
 	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/obs/obscli"
 	"repro/internal/sim"
 	"repro/internal/surface"
 )
+
+// obsRun is the command's observability edge (see internal/obs/obscli);
+// fatal/fatalf close it first so profiles and metric files are flushed on
+// error exits too.
+var obsRun *obscli.Run
+
+func fatal(v ...any)                 { obsRun.Close(); log.Fatal(v...) }
+func fatalf(format string, v ...any) { obsRun.Close(); log.Fatalf(format, v...) }
+
+// closeRun flushes the observability outputs at a success exit, failing
+// the command if an export cannot be written.
+func closeRun() {
+	if err := obsRun.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -48,11 +66,17 @@ func main() {
 		faultSweep = flag.String("fault-sweep", "", "comma-separated failure rates for the degradation sweep")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection seed")
 	)
+	reg := obs.NewRegistry()
+	obsRun = obscli.New(reg)
+	obsRun.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsRun.Start(); err != nil {
+		fatal(err)
+	}
 
 	snapAt, err := parseSnaps(*snaps)
 	if err != nil {
-		log.Fatalf("bad -snap: %v", err)
+		fatalf("bad -snap: %v", err)
 	}
 
 	forest := field.NewForest(field.DefaultForestConfig())
@@ -61,11 +85,11 @@ func main() {
 	if *faultSweep != "" {
 		rates, err := parseRates(*faultSweep)
 		if err != nil {
-			log.Fatalf("bad -fault-sweep: %v", err)
+			fatalf("bad -fault-sweep: %v", err)
 		}
 		rows, err := eval.DegradationSweep(forest, *k, *slots, *deltaN, rates, *faultSeed)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if *csv {
 			err = eval.WriteDegradationCSV(os.Stdout, rows)
@@ -73,13 +97,15 @@ func main() {
 			err = eval.WriteDegradationTable(os.Stdout, rows)
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
+		closeRun()
 		return
 	}
 
 	if *concurrent {
 		runConcurrent(forest, init, *slots, *deltaN, *beta, *noise, *seed, *drop, snapAt)
+		closeRun()
 		return
 	}
 
@@ -87,30 +113,31 @@ func main() {
 	opts.Config.Beta = *beta
 	opts.NoiseStd = *noise
 	opts.Seed = *seed
+	opts.Metrics = reg
 	if *faultRate > 0 {
 		opts.Config.RobustFit = true
 		opts.Faults = fault.NewInjector(*k, fault.Profile(*faultRate, *slots, *faultSeed))
 	}
 	w, err := sim.NewWorld(forest, init, opts)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	maybeSnap(forest.Bounds(), w.Positions(), w.Time(), opts.Config.Rc, snapAt)
 
 	rows := []eval.DeltaVsTimeRow{}
 	d0, err := w.Delta(*deltaN)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	rows = append(rows, eval.DeltaVsTimeRow{T: 0, Delta: d0, Connected: w.Connected()})
 	for s := 0; s < *slots; s++ {
 		st, err := w.Step()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		d, err := w.Delta(*deltaN)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		rows = append(rows, eval.DeltaVsTimeRow{
 			T: st.T, Delta: d, Moved: st.Moved,
@@ -119,6 +146,7 @@ func main() {
 		maybeSnap(forest.Bounds(), w.Positions(), st.T, opts.Config.Rc, snapAt)
 	}
 	emit(rows, *csv)
+	closeRun()
 }
 
 func runConcurrent(forest *field.Forest, init []geom.Vec2, slots, deltaN int, beta, noise float64, seed int64, drop float64, snapAt map[float64]bool) {
@@ -129,7 +157,7 @@ func runConcurrent(forest *field.Forest, init []geom.Vec2, slots, deltaN int, be
 	opts.DropProb = drop
 	r, err := dist.New(forest, init, opts)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer r.Close()
 	maybeSnap(forest.Bounds(), r.Positions(), r.Time(), opts.Config.Rc, snapAt)
@@ -139,7 +167,7 @@ func runConcurrent(forest *field.Forest, init []geom.Vec2, slots, deltaN int, be
 	for s := 0; s < slots; s++ {
 		st, err := r.Step()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		rows = append(rows, eval.DeltaVsTimeRow{
 			T: st.T, Delta: deltaOf(forest, r.Positions(), st.T, deltaN),
@@ -159,7 +187,7 @@ func deltaOf(dyn field.DynField, nodes []geom.Vec2, t float64, n int) float64 {
 	}
 	d, err := surface.DeltaSamples(slice, samples, n)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	return d
 }
@@ -172,7 +200,7 @@ func emit(rows []eval.DeltaVsTimeRow, csv bool) {
 		err = eval.WriteDeltaVsTimeTable(os.Stdout, rows)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if conv, ok := eval.ConvergenceTime(rows, 0.1); ok {
 		fmt.Printf("converged at t=%.0f min (mean displacement < 0.1)\n", conv)
@@ -187,7 +215,7 @@ func maybeSnap(region geom.Rect, nodes []geom.Vec2, t float64, rc float64, at ma
 	}
 	fmt.Printf("\ntopology at t=%.0f min:\n", t)
 	if err := surface.RenderTopologyASCII(os.Stdout, region, nodes, rc, 72, 36); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println()
 }

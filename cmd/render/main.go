@@ -18,8 +18,26 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/obs/obscli"
 	"repro/internal/surface"
 )
+
+// obsRun is the command's observability edge (see internal/obs/obscli);
+// fatal/fatalf close it first so profiles and metric files are flushed on
+// error exits too.
+var obsRun *obscli.Run
+
+func fatal(v ...any)                 { obsRun.Close(); log.Fatal(v...) }
+func fatalf(format string, v ...any) { obsRun.Close(); log.Fatalf(format, v...) }
+
+// closeRun flushes the observability outputs at a success exit, failing
+// the command if an export cannot be written.
+func closeRun() {
+	if err := obsRun.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,7 +53,12 @@ func main() {
 		gridN  = flag.Int("grid", 100, "lattice divisions (csv)")
 		out    = flag.String("o", "", "output file (default stdout)")
 	)
+	obsRun = obscli.New(obs.NewRegistry())
+	obsRun.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obsRun.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	var f field.Field
 	switch *name {
@@ -46,18 +69,18 @@ func main() {
 	case "peaks":
 		f = field.Peaks(geom.Square(100))
 	default:
-		log.Fatalf("unknown -field %q (want forest or peaks)", *name)
+		fatalf("unknown -field %q (want forest or peaks)", *name)
 	}
 
 	w := os.Stdout
 	if *out != "" {
 		file, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer func() {
 			if err := file.Close(); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}()
 		w = file
@@ -72,9 +95,10 @@ func main() {
 	case "csv":
 		err = surface.WriteGridCSV(w, f, *gridN)
 	default:
-		log.Fatalf("unknown -format %q (want ascii, pgm or csv)", *format)
+		fatalf("unknown -format %q (want ascii, pgm or csv)", *format)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	closeRun()
 }

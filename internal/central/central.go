@@ -22,6 +22,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/surface"
 )
 
@@ -40,6 +41,12 @@ type Options struct {
 	ReplanEvery int
 	// SlotMinutes is the slot duration; 0 defaults to 1.
 	SlotMinutes float64
+	// Metrics, when non-nil, receives the replanner's counters
+	// (central_replans_total, central_reports_total), the replan wall-time
+	// histogram central_replan_seconds, the mean node-to-target transit
+	// gauge central_mean_target_dist — and, passed through to core.FRA,
+	// the refinement-loop counters and relay-budget gauges.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions mirrors the paper's mobile settings with a 10-minute
@@ -60,6 +67,13 @@ type Planner struct {
 	// Uplink accounting: every replan costs one full-field report per
 	// node (the "lots of transmission" of the paper's argument).
 	reportsSent int
+
+	// Observability handles; all nil (and therefore free) without a
+	// registry in Options.Metrics.
+	replans       *obs.Counter
+	reports       *obs.Counter
+	replanSeconds *obs.Histogram
+	targetDist    *obs.Gauge
 }
 
 // New creates a planner for nodes at the given initial positions.
@@ -85,6 +99,12 @@ func New(dyn field.DynField, positions []geom.Vec2, opts Options) (*Planner, err
 		pos:  append([]geom.Vec2(nil), positions...),
 	}
 	p.targets = append([]geom.Vec2(nil), p.pos...)
+	if reg := opts.Metrics; reg != nil {
+		p.replans = reg.Counter("central_replans_total")
+		p.reports = reg.Counter("central_reports_total")
+		p.replanSeconds = reg.Histogram("central_replan_seconds", nil)
+		p.targetDist = reg.Gauge("central_mean_target_dist")
+	}
 	return p, nil
 }
 
@@ -123,15 +143,27 @@ func (p *Planner) Step() error {
 // replan runs FRA on the current field slice and greedily matches nodes
 // to the planned positions by nearest distance.
 func (p *Planner) replan() error {
+	timer := p.replanSeconds.StartTimer()
+	defer timer.Stop()
 	slice := field.Slice(p.dyn, p.t)
 	placement, err := core.FRA(slice, core.FRAOptions{
 		K: p.N(), Rc: p.opts.Rc, GridN: p.opts.GridN, AnchorCorners: true,
+		Metrics: p.opts.Metrics,
 	})
 	if err != nil {
 		return fmt.Errorf("central: replan at t=%v: %w", p.t, err)
 	}
 	p.reportsSent += p.N()
+	p.replans.Inc()
+	p.reports.Add(int64(p.N()))
 	p.targets = assign(p.pos, placement.Nodes)
+	if p.targetDist != nil {
+		sum := 0.0
+		for i := range p.pos {
+			sum += p.pos[i].Dist(p.targets[i])
+		}
+		p.targetDist.Set(sum / float64(p.N()))
+	}
 	p.anchors = p.anchors[:0]
 	for _, a := range placement.Anchors {
 		p.anchors = append(p.anchors, field.Sample{Pos: a, Z: slice.Eval(a)})

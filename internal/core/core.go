@@ -13,6 +13,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/surface"
 )
 
@@ -61,6 +62,13 @@ type FRAOptions struct {
 	// insertion as the original implementation did. The two paths produce
 	// identical placements; this knob exists so tests can prove it.
 	fullGridUpdates bool
+	// Metrics, when non-nil, receives the refinement-loop counters
+	// (fra_runs_total, fra_refined_total, fra_relays_total,
+	// fra_banned_total, fra_refine_attempts_total), the wall-time
+	// histogram fra_run_seconds, and the relay-budget gauges
+	// fra_relay_budget / fra_relay_bill refreshed at every selection.
+	// Observation only; placements are bit-identical with or without it.
+	Metrics *obs.Registry
 }
 
 // DefaultFRAOptions returns the evaluation settings of the paper's
@@ -87,6 +95,10 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 	if gridN < 1 {
 		return Placement{}, fmt.Errorf("%w: gridN=%d", ErrBadParams, opts.GridN)
 	}
+	met := newFRAMetrics(opts.Metrics)
+	met.runs.Inc()
+	runTimer := met.runSeconds.StartTimer()
+	defer runTimer.Stop()
 	region := f.Bounds()
 
 	tin := surface.NewTIN(region)
@@ -145,6 +157,10 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 
 	for len(selected) < opts.K {
 		remaining := opts.K - len(selected)
+		if oracle != nil {
+			met.relayBudget.Set(float64(remaining - 1))
+			met.relayBill.Set(float64(oracle.Relays()))
+		}
 		if !opts.DisableForesight && len(selected) > 0 &&
 			oracle.Relays() >= remaining {
 			// Foresight trigger: the rest of the budget goes to relays.
@@ -158,7 +174,7 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 		if opts.DisableForesight {
 			budget = int(^uint(0) >> 1) // unconstrained
 		}
-		p, ok := nextRefinement(errGrid, oracle, selectedSet, banned, tried, budget)
+		p, ok := nextRefinement(errGrid, oracle, selectedSet, banned, tried, budget, met.attempts)
 		if !ok {
 			if opts.DisableForesight {
 				break
@@ -169,6 +185,7 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 		dirty, exact, err := addNode(p)
 		if err != nil {
 			banned[p] = true
+			met.banned.Inc()
 			continue
 		}
 		placement.Refined++
@@ -180,7 +197,39 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 	}
 
 	placement.Nodes = selected
+	met.refined.Add(int64(placement.Refined))
+	met.relays.Add(int64(placement.Relays))
 	return placement, nil
+}
+
+// fraMetrics is FRA's observability surface. The zero value (from a nil
+// registry) is fully inert through the obs nil fast path, so the
+// refinement loop mutates it unconditionally.
+type fraMetrics struct {
+	runs        *obs.Counter   // fra_runs_total
+	refined     *obs.Counter   // fra_refined_total
+	relays      *obs.Counter   // fra_relays_total
+	banned      *obs.Counter   // fra_banned_total (duplicate-insert rejections)
+	attempts    *obs.Counter   // fra_refine_attempts_total (argmax candidates tried)
+	runSeconds  *obs.Histogram // fra_run_seconds
+	relayBudget *obs.Gauge     // fra_relay_budget: nodes spendable after the next pick
+	relayBill   *obs.Gauge     // fra_relay_bill: relays the oracle currently demands
+}
+
+func newFRAMetrics(reg *obs.Registry) fraMetrics {
+	if reg == nil {
+		return fraMetrics{}
+	}
+	return fraMetrics{
+		runs:        reg.Counter("fra_runs_total"),
+		refined:     reg.Counter("fra_refined_total"),
+		relays:      reg.Counter("fra_relays_total"),
+		banned:      reg.Counter("fra_banned_total"),
+		attempts:    reg.Counter("fra_refine_attempts_total"),
+		runSeconds:  reg.Histogram("fra_run_seconds", nil),
+		relayBudget: reg.Gauge("fra_relay_budget"),
+		relayBill:   reg.Gauge("fra_relay_bill"),
+	}
 }
 
 // nextRefinement scans lattice positions in decreasing local-error order
@@ -191,11 +240,12 @@ func FRA(f field.Field, opts FRAOptions) (Placement, error) {
 // a handful of attempts in practice; the attempt budget bounds the worst
 // case. tried is caller-owned scratch, cleared here, so steady-state
 // refinement allocates nothing per attempt.
-func nextRefinement(g *surface.LocalErrorGrid, oracle *graph.RelayOracle, selectedSet, banned, tried map[geom.Vec2]bool, budgetAfter int) (geom.Vec2, bool) {
+func nextRefinement(g *surface.LocalErrorGrid, oracle *graph.RelayOracle, selectedSet, banned, tried map[geom.Vec2]bool, budgetAfter int, attempts *obs.Counter) (geom.Vec2, bool) {
 	n := g.N()
 	clear(tried)
 	const maxAttempts = 64
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		attempts.Inc()
 		bestE := -1.0
 		var bestP geom.Vec2
 		for i := 0; i <= n; i++ {

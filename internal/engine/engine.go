@@ -57,6 +57,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/geom"
 	"repro/internal/mobile"
+	"repro/internal/obs"
 	"repro/internal/spatial"
 	"repro/internal/view"
 )
@@ -106,6 +107,11 @@ type Options struct {
 	BeforeMove func(old, next []geom.Vec2)
 	// Stages overrides the step pipeline; nil means DefaultStages().
 	Stages []Stage
+	// Metrics, when non-nil, receives per-stage and per-slot wall-time
+	// histograms plus step-statistic counters and gauges (see
+	// engineMetrics). Instrumentation only observes — it never perturbs
+	// the dynamics — and nil keeps the hot path clock-free.
+	Metrics *obs.Registry
 }
 
 // Engine advances a swarm of CMA nodes one slot at a time by running its
@@ -131,6 +137,56 @@ type Engine struct {
 	idx      *spatial.Index
 	idxEpoch int
 	epoch    int
+
+	// met is the engine's observability surface; nil means off, and every
+	// instrumentation site is guarded so the disabled path never reads the
+	// clock.
+	met *engineMetrics
+}
+
+// engineMetrics holds the engine's pre-resolved metric handles, looked up
+// once at construction so the per-slot path does no registry work.
+type engineMetrics struct {
+	step     *obs.Histogram   // engine_step_seconds: whole-slot wall time
+	stages   []*obs.Histogram // engine_stage_seconds_<name>, aligned with Engine.stages
+	slots    *obs.Counter     // engine_slots_total
+	moved    *obs.Counter     // engine_moved_total
+	followed *obs.Counter     // engine_lcm_follows_total
+	reverts  *obs.Counter     // engine_lcm_reverts_total
+	alive    *obs.Gauge       // engine_alive
+	force    *obs.Gauge       // engine_mean_force
+	disp     *obs.Gauge       // engine_mean_displacement
+	energy   *obs.Gauge       // engine_energy_total (cumulative meters)
+}
+
+func newEngineMetrics(reg *obs.Registry, stages []Stage) *engineMetrics {
+	m := &engineMetrics{
+		step:     reg.Histogram("engine_step_seconds", nil),
+		slots:    reg.Counter("engine_slots_total"),
+		moved:    reg.Counter("engine_moved_total"),
+		followed: reg.Counter("engine_lcm_follows_total"),
+		reverts:  reg.Counter("engine_lcm_reverts_total"),
+		alive:    reg.Gauge("engine_alive"),
+		force:    reg.Gauge("engine_mean_force"),
+		disp:     reg.Gauge("engine_mean_displacement"),
+		energy:   reg.Gauge("engine_energy_total"),
+	}
+	m.stages = make([]*obs.Histogram, len(stages))
+	for i, st := range stages {
+		m.stages[i] = reg.Histogram("engine_stage_seconds_"+st.Name(), nil)
+	}
+	return m
+}
+
+// record folds one finished slot's statistics into the metric set.
+func (m *engineMetrics) record(s *Slot) {
+	m.slots.Inc()
+	m.moved.Add(int64(s.Stats.Moved))
+	m.followed.Add(int64(s.Stats.Followed))
+	m.alive.Set(float64(s.Stats.Alive))
+	m.force.Set(s.Stats.MeanForce)
+	m.disp.Set(s.Stats.MeanDisplacement)
+	m.energy.Add(s.Stats.EnergySpent)
 }
 
 // heardReport caches one received (position, G) announcement.
@@ -166,6 +222,9 @@ func New(dyn field.DynField, positions []geom.Vec2, opts Options) (*Engine, erro
 	}
 	if e.stages == nil {
 		e.stages = DefaultStages()
+	}
+	if opts.Metrics != nil {
+		e.met = newEngineMetrics(opts.Metrics, e.stages)
 	}
 	e.energy = make([]float64, len(e.pos))
 	region := dyn.Bounds()
@@ -283,11 +342,25 @@ func (e *Engine) Step() (StepStats, error) {
 	s.Decisions = make([]mobile.Decision, n)
 	s.ForceLen = make([]float64, n)
 	s.Next = append([]geom.Vec2(nil), e.pos...)
-	for _, st := range e.stages {
-		if err := st.Run(e, s); err != nil {
+	if e.met == nil {
+		for _, st := range e.stages {
+			if err := st.Run(e, s); err != nil {
+				return StepStats{}, fmt.Errorf("engine: stage %s: %w", st.Name(), err)
+			}
+		}
+		return s.Stats, nil
+	}
+	stepTimer := e.met.step.StartTimer()
+	for si, st := range e.stages {
+		t := e.met.stages[si].StartTimer()
+		err := st.Run(e, s)
+		t.Stop()
+		if err != nil {
 			return StepStats{}, fmt.Errorf("engine: stage %s: %w", st.Name(), err)
 		}
 	}
+	stepTimer.Stop()
+	e.met.record(s)
 	return s.Stats, nil
 }
 

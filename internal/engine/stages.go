@@ -209,6 +209,9 @@ func (ResolveStage) Run(e *Engine, s *Slot) error {
 	if follows < 0 { // projection failed: slot reverted
 		s.Stats.Followed = 0
 		s.Stats.Moved = 0
+		if e.met != nil {
+			e.met.reverts.Inc()
+		}
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -56,6 +57,10 @@ type DeltaVsKOptions struct {
 	// Every (k, draw) cell is seeded independently and collected by
 	// index, so the output is bit-identical for any worker count.
 	Workers int
+	// Metrics, when non-nil, is handed to every FRA run in the sweep (the
+	// obs metric mutators are atomic, so the parallel pool shares one
+	// registry safely). Sweep outputs are bit-identical either way.
+	Metrics *obs.Registry
 }
 
 // DefaultDeltaVsKOptions returns the paper's Fig. 7 setting.
@@ -91,7 +96,7 @@ func DeltaVsK(f field.Field, ks []int, opts DeltaVsKOptions) ([]DeltaVsKRow, err
 	for i, k := range ks {
 		i, k := i, k
 		tasks = append(tasks, func() error {
-			fraOpts := core.FRAOptions{K: k, Rc: opts.Rc, GridN: opts.GridN, AnchorCorners: true}
+			fraOpts := core.FRAOptions{K: k, Rc: opts.Rc, GridN: opts.GridN, AnchorCorners: true, Metrics: opts.Metrics}
 			p, err := core.FRA(f, fraOpts)
 			if err != nil {
 				return fmt.Errorf("eval: FRA k=%d: %w", k, err)

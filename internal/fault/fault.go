@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"repro/internal/field"
+	"repro/internal/obs"
 )
 
 // Sample aliases field.Sample, the sensed-reading type the sensing fault
@@ -170,6 +171,43 @@ type Injector struct {
 	senseRNG []*rand.Rand // lazily built per-node sensing-fault streams
 	links    map[int64]*geChain
 	lastSlot int
+	met      *injMetrics // nil: fault events are not exported
+}
+
+// injMetrics holds the injector's fault-event counters; every mutation
+// site is nil-guarded through the obs fast path, so an unobserved
+// injector draws and decides exactly as an observed one.
+type injMetrics struct {
+	deaths     *obs.Counter // fault_deaths_total (all causes)
+	crashes    *obs.Counter // fault_deaths_crash_total
+	scheduled  *obs.Counter // fault_deaths_scheduled_total
+	battery    *obs.Counter // fault_deaths_battery_total
+	recoveries *obs.Counter // fault_recoveries_total
+	linkDrops  *obs.Counter // fault_link_drops_total
+	senseDrops *obs.Counter // fault_sample_drops_total
+	outliers   *obs.Counter // fault_sample_outliers_total
+	alive      *obs.Gauge   // fault_alive (refreshed each BeginSlot)
+}
+
+// SetMetrics attaches fault-event counters from reg to the injector; a
+// nil registry detaches them. Metrics record outcomes only — no RNG
+// stream is consulted — so attaching them cannot change a trajectory.
+func (in *Injector) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		in.met = nil
+		return
+	}
+	in.met = &injMetrics{
+		deaths:     reg.Counter("fault_deaths_total"),
+		crashes:    reg.Counter("fault_deaths_crash_total"),
+		scheduled:  reg.Counter("fault_deaths_scheduled_total"),
+		battery:    reg.Counter("fault_deaths_battery_total"),
+		recoveries: reg.Counter("fault_recoveries_total"),
+		linkDrops:  reg.Counter("fault_link_drops_total"),
+		senseDrops: reg.Counter("fault_sample_drops_total"),
+		outliers:   reg.Counter("fault_sample_outliers_total"),
+		alive:      reg.Gauge("fault_alive"),
+	}
 }
 
 // NewInjector returns an injector for n nodes.
@@ -277,6 +315,26 @@ func (in *Injector) kill(i int, why cause) {
 	}
 	in.down[i] = why
 	in.deaths++
+	if in.met != nil {
+		in.met.deaths.Inc()
+		switch why {
+		case crashRandom:
+			in.met.crashes.Inc()
+		case crashScheduled:
+			in.met.scheduled.Inc()
+		case crashBattery:
+			in.met.battery.Inc()
+		}
+	}
+}
+
+// revive marks a down node up again (scheduled Up events and random
+// recoveries both land here so the recovery counter cannot drift).
+func (in *Injector) revive(i int) {
+	in.down[i] = upNode
+	if in.met != nil {
+		in.met.recoveries.Inc()
+	}
 }
 
 // BeginSlot advances the fault state to the given slot: battery-dead
@@ -290,6 +348,9 @@ func (in *Injector) BeginSlot(slot int) {
 		return
 	}
 	in.lastSlot = slot
+	if in.met != nil {
+		defer func() { in.met.alive.Set(float64(in.AliveCount())) }()
+	}
 	for i := range in.down {
 		if in.down[i] == upNode && in.charge != nil && in.charge[i] <= 0 {
 			in.kill(i, crashBattery)
@@ -301,7 +362,7 @@ func (in *Injector) BeginSlot(slot int) {
 		}
 		if ev.Up {
 			if in.down[ev.Node] == crashScheduled || in.down[ev.Node] == crashRandom {
-				in.down[ev.Node] = upNode
+				in.revive(ev.Node)
 			}
 		} else {
 			in.kill(ev.Node, crashScheduled)
@@ -318,7 +379,7 @@ func (in *Injector) BeginSlot(slot int) {
 			}
 		case crashRandom:
 			if in.cfg.RecoverProb > 0 && in.nodeRNG(&in.crashRNG, tagCrash, i).Float64() < in.cfg.RecoverProb {
-				in.down[i] = upNode
+				in.revive(i)
 			}
 		}
 	}
@@ -364,7 +425,11 @@ func (in *Injector) DropLink(slot, from, to int) bool {
 	if ch.bad {
 		loss = in.cfg.Link.LossBad
 	}
-	return loss > 0 && ch.rng.Float64() < loss
+	dropped := loss > 0 && ch.rng.Float64() < loss
+	if dropped && in.met != nil {
+		in.met.linkDrops.Inc()
+	}
+	return dropped
 }
 
 // CorruptSamples applies sensing faults to node i's sensed readings:
@@ -379,10 +444,16 @@ func (in *Injector) CorruptSamples(i int, samples []Sample) []Sample {
 	out := make([]Sample, 0, len(samples))
 	for _, s := range samples {
 		if in.cfg.SenseDropProb > 0 && rng.Float64() < in.cfg.SenseDropProb {
+			if in.met != nil {
+				in.met.senseDrops.Inc()
+			}
 			continue
 		}
 		if in.cfg.SenseOutlierProb > 0 && rng.Float64() < in.cfg.SenseOutlierProb {
 			s.Z += rng.NormFloat64() * in.cfg.SenseOutlierStd
+			if in.met != nil {
+				in.met.outliers.Inc()
+			}
 		}
 		out = append(out, s)
 	}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds the fixed registry both export goldens snapshot.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("engine_slots_total").Add(45)
+	reg.Counter("fault_deaths_total").Add(3)
+	reg.Gauge("sim_delta").Set(123.456)
+	reg.Gauge("sim_connected").Set(1)
+	h := reg.Histogram("engine_stage_seconds_sense", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0004, 0.002, 0.002, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The export must round-trip as a Snapshot before it is golden-pinned.
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if s.Counters["engine_slots_total"] != 45 {
+		t.Errorf("round-trip lost counter: %+v", s)
+	}
+	if got := s.Histograms["engine_stage_seconds_sense"]; got.Count != 5 || len(got.Counts) != 4 {
+		t.Errorf("round-trip lost histogram: %+v", got)
+	}
+	checkGolden(t, "export.json", buf.Bytes())
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "export.prom", buf.Bytes())
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var nilReg *Registry
+	var buf bytes.Buffer
+	if err := nilReg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{}\n" {
+		t.Errorf("nil registry JSON = %q, want {}", got)
+	}
+	buf.Reset()
+	if err := nilReg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry Prometheus export = %q, want empty", buf.String())
+	}
+}

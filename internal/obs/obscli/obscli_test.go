@@ -1,0 +1,155 @@
+package obscli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// newRun builds a Run with flags parsed from args against a fresh set.
+func newRun(t *testing.T, reg *obs.Registry, args ...string) *Run {
+	t.Helper()
+	r := New(reg)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	r.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMetricsExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "m.json")
+	promPath := filepath.Join(dir, "m.prom")
+	reg := obs.NewRegistry()
+	reg.Counter("widgets_total").Add(7)
+
+	r := newRun(t, reg, "-metrics-json", jsonPath, "-metrics-prom", promPath)
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if snap.Counters["widgets_total"] != 7 {
+		t.Errorf("exported counter = %d, want 7", snap.Counters["widgets_total"])
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "widgets_total 7") {
+		t.Errorf("prometheus export missing counter:\n%s", prom)
+	}
+}
+
+func TestProfilesClosedOnClose(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	r := newRun(t, nil, "-cpuprofile", cpu, "-memprofile", mem)
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close must be idempotent.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartErrorReleasesCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	// An unbindable pprof address must fail Start and still release the
+	// already-started CPU profile, or a second Start could never succeed.
+	r := newRun(t, nil, "-cpuprofile", cpu, "-pprof", "256.256.256.256:1")
+	if err := r.Start(); err == nil {
+		t.Fatal("Start with a bad pprof address must fail")
+	}
+	r2 := newRun(t, nil, "-cpuprofile", filepath.Join(dir, "cpu2.out"))
+	if err := r2.Start(); err != nil {
+		t.Fatalf("CPU profile leaked by failed Start: %v", err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPprofServerServesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("answer").Set(42)
+	r := newRun(t, reg, "-pprof", "127.0.0.1:0")
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	base := fmt.Sprintf("http://%s", r.listener.Addr())
+	for path, want := range map[string]string{
+		"/metrics":            "answer 42",
+		"/debug/pprof/symbol": "", // pprof handler mounted
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body), want) {
+			t.Errorf("%s: body %q missing %q", path, body, want)
+		}
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("done").Inc()
+	r := newRun(t, reg)
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.buildReport()
+	if rep.ElapsedSeconds < 0 {
+		t.Errorf("elapsed = %v", rep.ElapsedSeconds)
+	}
+	if rep.Metrics.Counters["done"] != 1 {
+		t.Errorf("report metrics = %+v", rep.Metrics)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not marshalable: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

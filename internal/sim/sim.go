@@ -15,12 +15,14 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/geom"
 	"repro/internal/mobile"
+	"repro/internal/obs"
 	"repro/internal/surface"
 	"repro/internal/view"
 )
@@ -48,6 +50,14 @@ type Options struct {
 	// fault-free run. The injector must be built for exactly N nodes and
 	// must not be shared between worlds.
 	Faults *fault.Injector
+	// Metrics, when non-nil, receives the engine's per-stage wall-time
+	// histograms plus the world's per-round gauges: sim_delta and
+	// sim_delta_evals_total (every Delta evaluation), sim_connected and
+	// sim_connectivity_checks_total (every Connected query), and
+	// sim_coverage / sim_alive_fraction refreshed each step. An attached
+	// fault injector reports its event counters to the same registry.
+	// Instrumentation never perturbs the trajectory; nil is free.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the paper's Section 6 OSTD settings.
@@ -68,6 +78,29 @@ type World struct {
 	opts  Options
 	eng   *engine.Engine
 	trace *traceStore
+	met   *worldMetrics
+}
+
+// worldMetrics holds the world's per-round observability gauges; nil
+// means off.
+type worldMetrics struct {
+	delta      *obs.Gauge   // sim_delta: last evaluated δ
+	deltaEvals *obs.Counter // sim_delta_evals_total
+	connected  *obs.Gauge   // sim_connected: 1 or 0 at the last check
+	connChecks *obs.Counter // sim_connectivity_checks_total
+	coverage   *obs.Gauge   // sim_coverage: nominal sensing-disc coverage
+	aliveFrac  *obs.Gauge   // sim_alive_fraction
+}
+
+func newWorldMetrics(reg *obs.Registry) *worldMetrics {
+	return &worldMetrics{
+		delta:      reg.Gauge("sim_delta"),
+		deltaEvals: reg.Counter("sim_delta_evals_total"),
+		connected:  reg.Gauge("sim_connected"),
+		connChecks: reg.Counter("sim_connectivity_checks_total"),
+		coverage:   reg.Gauge("sim_coverage"),
+		aliveFrac:  reg.Gauge("sim_alive_fraction"),
+	}
 }
 
 // NewWorld creates a world with nodes at the given initial positions.
@@ -89,6 +122,12 @@ func NewWorld(dyn field.DynField, positions []geom.Vec2, opts Options) (*World, 
 	if opts.Trace.Enabled {
 		w.trace = newTraceStore(opts.Trace)
 	}
+	if opts.Metrics != nil {
+		w.met = newWorldMetrics(opts.Metrics)
+		if opts.Faults != nil {
+			opts.Faults.SetMetrics(opts.Metrics)
+		}
+	}
 	eng, err := engine.New(dyn, positions, engine.Options{
 		Config:      opts.Config,
 		NoiseStd:    opts.NoiseStd,
@@ -96,6 +135,7 @@ func NewWorld(dyn field.DynField, positions []geom.Vec2, opts Options) (*World, 
 		SlotMinutes: opts.SlotMinutes,
 		Faults:      opts.Faults,
 		BeforeMove:  w.beforeMove,
+		Metrics:     opts.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -134,7 +174,16 @@ func (w *World) Positions() []geom.Vec2 { return w.eng.Positions() }
 // fault injector attached, dead nodes neither route nor count: the induced
 // subgraph over the alive nodes is tested instead.
 func (w *World) Connected() bool {
-	return w.eng.ConnectedIn(w.aliveView())
+	ok := w.eng.ConnectedIn(w.aliveView())
+	if w.met != nil {
+		w.met.connChecks.Inc()
+		if ok {
+			w.met.connected.Set(1)
+		} else {
+			w.met.connected.Set(0)
+		}
+	}
+	return ok
 }
 
 // aliveView returns the current alive view: nil mask without an injector.
@@ -174,6 +223,18 @@ func (w *World) Step() (StepStats, error) {
 	if err != nil {
 		return StepStats{}, fmt.Errorf("sim: %w", err)
 	}
+	if w.met != nil {
+		frac := float64(st.Alive) / float64(w.N())
+		w.met.aliveFrac.Set(frac)
+		// Nominal sensing coverage: the alive swarm's total disc area over
+		// the region area, capped at 1 — a cheap upper bound that tracks
+		// deaths without integrating disc overlaps.
+		area := w.dyn.Bounds().Area()
+		if area > 0 {
+			cov := float64(st.Alive) * math.Pi * w.opts.Config.Rs * w.opts.Config.Rs / area
+			w.met.coverage.Set(math.Min(1, cov))
+		}
+	}
 	return st, nil
 }
 
@@ -210,6 +271,10 @@ func (w *World) Delta(n int) (float64, error) {
 	d, err := surface.DeltaSamples(slice, samples, n)
 	if err != nil {
 		return 0, fmt.Errorf("sim: delta: %w", err)
+	}
+	if w.met != nil {
+		w.met.delta.Set(d)
+		w.met.deltaEvals.Inc()
 	}
 	return d, nil
 }
