@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -80,12 +81,27 @@ func realMain(full, ext bool, reg *obs.Registry) error {
 	}
 
 	fmt.Println("\n=== Fig. 7: δ vs k, FRA vs random deployment ===")
-	kOpts := eval.DeltaVsKOptions{Rc: 10, GridN: gridN, DeltaN: deltaN, RandomDraws: 5, Seed: 1}
-	kRows, err := eval.DeltaVsK(ref, ks, kOpts)
+	// The δ-versus-k sweep rides the scenario-sweep engine: a single-field,
+	// single-rc, fault-free grid over the paper's k values. The engine's
+	// cell runner mirrors eval.DeltaVsK's per-k computation, so the rows —
+	// and therefore this table — are bit-identical to the old direct loop,
+	// but the cells now shard across the worker pool, checkpoint, and show
+	// up in the sweep metrics.
+	kSpec := sweep.Spec{
+		Name:        "fig7",
+		Fields:      []sweep.FieldSpec{{Kind: "forest"}},
+		Ks:          ks,
+		Rcs:         []float64{10},
+		GridN:       gridN,
+		DeltaN:      deltaN,
+		RandomDraws: 5,
+		Seeds:       []int64{1},
+	}
+	kRep, err := sweep.Run(kSpec, sweep.RunOptions{Metrics: reg})
 	if err != nil {
 		return err
 	}
-	if err := eval.WriteDeltaVsKTable(os.Stdout, kRows); err != nil {
+	if err := eval.WriteDeltaVsKTable(os.Stdout, sweep.DeltaVsKRows(kRep)); err != nil {
 		return err
 	}
 
@@ -130,7 +146,8 @@ func realMain(full, ext bool, reg *obs.Registry) error {
 	}
 
 	fmt.Println("\n=== Extension: collection cost & robustness of FRA networks ===")
-	nRows, err := eval.NetworkVsK(ref, []int{50, 100, 150}, kOpts)
+	nOpts := eval.DeltaVsKOptions{Rc: 10, GridN: gridN, DeltaN: deltaN, RandomDraws: 5, Seed: 1}
+	nRows, err := eval.NetworkVsK(ref, []int{50, 100, 150}, nOpts)
 	if err != nil {
 		return err
 	}

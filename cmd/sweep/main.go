@@ -1,0 +1,177 @@
+// Command sweep runs a declarative scenario grid — the cartesian product
+// of field generators, node counts, communication radii, fault profiles
+// and seeds described by a JSON spec — through the FRA/CMA evaluation
+// stack, sharded across a bounded worker pool.
+//
+// Usage:
+//
+//	sweep -example > spec.json             # print a small worked example
+//	sweep -spec spec.json -out out.json    # run it (workers = NumCPU)
+//	sweep -spec spec.json -workers 8 -checkpoint run.ckpt -out out.json
+//	sweep -spec spec.json -checkpoint run.ckpt -resume -out out.json
+//
+// The aggregated output (-out; .json, .csv, or a table on stdout) is
+// byte-identical for any worker count. With -checkpoint every finished
+// cell is durably recorded, so a sweep interrupted by SIGINT or -limit
+// resumes with -resume without recomputing, and the resumed output is
+// byte-identical to an uninterrupted run. -limit N stops after N cells —
+// a deterministic stand-in for "killed mid-sweep" used by CI and tests.
+//
+// The shared observability flags (-metrics-json, -metrics-prom, -pprof,
+// -report; see internal/obs/obscli) export the sweep counters, the
+// per-cell wall-time histogram and the worker-utilization gauges.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obs/obscli"
+	"repro/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	specPath := flag.String("spec", "", "path to the JSON scenario spec (required unless -example)")
+	workers := flag.Int("workers", 0, "worker pool size; 0 = NumCPU")
+	out := flag.String("out", "", "aggregated output path (.json or .csv; empty = table on stdout)")
+	format := flag.String("format", "", "output format override: json, csv or table")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint path (enables resume)")
+	resume := flag.Bool("resume", false, "replay completed cells from -checkpoint instead of recomputing")
+	limit := flag.Int("limit", 0, "stop after completing N cells (deterministic interruption); 0 = run all")
+	example := flag.Bool("example", false, "print a small example spec to stdout and exit")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
+	reg := obs.NewRegistry()
+	run := obscli.New(reg)
+	run.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	if err := run.Start(); err != nil {
+		log.Fatal(err)
+	}
+	err := realMain(*specPath, *workers, *out, *format, *checkpoint, *resume, *limit, *example, *quiet, reg)
+	if cerr := run.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func realMain(specPath string, workers int, out, format, checkpoint string, resume bool, limit int, example, quiet bool, reg *obs.Registry) error {
+	if example {
+		return writeExample(os.Stdout)
+	}
+	if specPath == "" {
+		return fmt.Errorf("missing -spec (or -example); see -h")
+	}
+	if resume && checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	spec, err := sweep.LoadSpecFile(specPath)
+	if err != nil {
+		return err
+	}
+
+	// SIGINT finishes the cells in flight, checkpoints them, and exits
+	// cleanly; a second SIGINT kills the process the usual way.
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		log.Print("interrupt: finishing cells in flight (press again to kill)")
+		close(stop)
+		signal.Stop(sigs)
+	}()
+
+	opts := sweep.RunOptions{
+		Workers:    workers,
+		Checkpoint: checkpoint,
+		Resume:     resume,
+		MaxCells:   limit,
+		Stop:       stop,
+		Metrics:    reg,
+	}
+	if !quiet {
+		opts.Log = os.Stderr
+	}
+	rep, err := sweep.Run(spec, opts)
+	if err != nil {
+		return err
+	}
+	summarize(rep, reg)
+	if rep.Interrupted {
+		if checkpoint != "" {
+			log.Printf("interrupted after %d/%d cells; resume with -spec %s -checkpoint %s -resume",
+				len(rep.Cells), rep.Total, specPath, checkpoint)
+		} else {
+			log.Printf("interrupted after %d/%d cells; no -checkpoint, progress not recorded", len(rep.Cells), rep.Total)
+		}
+		return nil // partial aggregate is intentionally not written
+	}
+	return writeOutput(rep, out, format)
+}
+
+// summarize prints run bookkeeping to stderr: cell counts and, when
+// metrics recorded any live cells, the wall-time quantiles.
+func summarize(rep *sweep.Report, reg *obs.Registry) {
+	log.Printf("%d/%d cells (%d computed, %d resumed, %d failed)",
+		len(rep.Cells), rep.Total, rep.Computed, rep.Resumed, rep.Failed)
+	if h, ok := reg.Snapshot().Histograms["sweep_cell_seconds"]; ok && h.Count > 0 {
+		log.Printf("cell wall-time: p50≈%.3gs p95≈%.3gs (n=%d)", h.Quantile(0.5), h.Quantile(0.95), h.Count)
+	}
+}
+
+// writeOutput renders the aggregate in the requested format: an explicit
+// -format wins, else the -out extension decides, else a table on stdout.
+func writeOutput(rep *sweep.Report, out, format string) error {
+	if format == "" {
+		switch {
+		case strings.HasSuffix(out, ".json"):
+			format = "json"
+		case strings.HasSuffix(out, ".csv"):
+			format = "csv"
+		default:
+			format = "table"
+		}
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				log.Printf("close %s: %v", out, cerr)
+			}
+		}()
+		w = f
+	}
+	switch format {
+	case "json":
+		return sweep.WriteJSON(w, rep)
+	case "csv":
+		return sweep.WriteCSV(w, rep)
+	case "table":
+		return sweep.WriteTable(w, rep)
+	}
+	return fmt.Errorf("unknown -format %q (want json, csv or table)", format)
+}
+
+// writeExample prints the worked example spec from the README.
+func writeExample(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sweep.ExampleSpec())
+}

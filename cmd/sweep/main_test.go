@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// TestWriteExampleRoundTrips checks that the -example output is a valid
+// spec the loader accepts unchanged.
+func TestWriteExampleRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeExample(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sweep.LoadSpec(&buf)
+	if err != nil {
+		t.Fatalf("example spec does not load: %v", err)
+	}
+	if spec.Name != "example" || spec.NumCells() == 0 {
+		t.Fatalf("unexpected example spec: %+v", spec)
+	}
+}
+
+// TestRealMainArgErrors pins the flag-validation failures.
+func TestRealMainArgErrors(t *testing.T) {
+	if err := realMain("", 0, "", "", "", false, 0, false, true, nil); err == nil ||
+		!strings.Contains(err.Error(), "-spec") {
+		t.Fatalf("missing -spec: got %v", err)
+	}
+	if err := realMain("x.json", 0, "", "", "", true, 0, false, true, nil); err == nil ||
+		!strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("-resume without -checkpoint: got %v", err)
+	}
+	if err := realMain(filepath.Join(t.TempDir(), "absent.json"), 0, "", "", "", false, 0, false, true, nil); err == nil {
+		t.Fatal("absent spec file: want error")
+	}
+}
+
+// TestWriteOutputFormats drives format selection — explicit override,
+// extension inference, the unknown-format error — over a fabricated
+// report, checking each renderer actually produced its format.
+func TestWriteOutputFormats(t *testing.T) {
+	rep := &sweep.Report{
+		Name:  "fmt",
+		Total: 1,
+		Cells: []sweep.Result{{Index: 0, Field: "peaks", K: 3, Rc: 10, Seed: 1, DeltaFRA: 42, Connected: true}},
+	}
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "out.json")
+	if err := writeOutput(rep, jsonPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed sweep.Report
+	if err := json.Unmarshal(raw, &parsed); err != nil || parsed.Name != "fmt" {
+		t.Fatalf("json output did not round-trip: %v (%s)", err, raw)
+	}
+
+	csvPath := filepath.Join(dir, "out.csv")
+	if err := writeOutput(rep, csvPath, ""); err != nil {
+		t.Fatal(err)
+	}
+	if raw, _ = os.ReadFile(csvPath); !strings.HasPrefix(string(raw), "index,field,k,") {
+		t.Fatalf("csv output missing header: %s", raw)
+	}
+
+	tablePath := filepath.Join(dir, "out.txt")
+	if err := writeOutput(rep, tablePath, "table"); err != nil {
+		t.Fatal(err)
+	}
+	if raw, _ = os.ReadFile(tablePath); !strings.Contains(string(raw), "δ(FRA)") {
+		t.Fatalf("table output missing header: %s", raw)
+	}
+
+	if err := writeOutput(rep, filepath.Join(dir, "out.xml"), "xml"); err == nil ||
+		!strings.Contains(err.Error(), "unknown -format") {
+		t.Fatalf("unknown format: got %v", err)
+	}
+}
+
+// TestRealMainRunsSpec runs a tiny one-cell spec end to end through
+// realMain — load, run, write — with metrics attached, mirroring the CLI
+// path without the flag plumbing.
+func TestRealMainRunsSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep cell")
+	}
+	dir := t.TempDir()
+	spec := sweep.Spec{
+		Name:   "cli",
+		Fields: []sweep.FieldSpec{{Kind: "peaks"}},
+		Ks:     []int{4},
+		Rcs:    []float64{50},
+		GridN:  10,
+		DeltaN: 10,
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.json")
+	reg := obs.NewRegistry()
+	if err := realMain(specPath, 1, outPath, "", "", false, 0, false, true, reg); err != nil {
+		t.Fatal(err)
+	}
+	var rep sweep.Report
+	rawOut, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawOut, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || rep.Failed != 0 || rep.Cells[0].DeltaFRA <= 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if snap := reg.Snapshot(); snap.Counters["sweep_cells_completed_total"] != 1 {
+		t.Fatalf("metrics not wired: %+v", snap.Counters)
+	}
+}

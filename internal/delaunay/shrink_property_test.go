@@ -1,0 +1,236 @@
+package delaunay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// This file holds the randomized property tests with shrinking: when a
+// random point batch violates a property, the harness greedily removes
+// points while the violation persists and reports the minimal failing
+// subset as a paste-able Go literal, so a failure seen in CI reproduces
+// as a three-line regression test instead of a 40-point dump.
+
+// property is a predicate over a point batch; it returns a description of
+// the violation, or "" when the property holds.
+type property func(pts []geom.Vec2) string
+
+// shrink greedily removes points while check still fails, returning a
+// minimal failing subset (no single removal keeps it failing) and the
+// violation it exhibits.
+func shrink(pts []geom.Vec2, check property) ([]geom.Vec2, string) {
+	msg := check(pts)
+	if msg == "" {
+		return nil, ""
+	}
+	for {
+		removed := false
+		for i := 0; i < len(pts); i++ {
+			cand := append(append([]geom.Vec2(nil), pts[:i]...), pts[i+1:]...)
+			if m := check(cand); m != "" {
+				pts, msg = cand, m
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return pts, msg
+		}
+	}
+}
+
+// reportShrunk fails the test with the minimal failing subset rendered as
+// a Go slice literal.
+func reportShrunk(t *testing.T, seed int64, pts []geom.Vec2, msg string) {
+	t.Helper()
+	lit := "[]geom.Vec2{"
+	for _, p := range pts {
+		lit += fmt.Sprintf("geom.V2(%v, %v), ", p.X, p.Y)
+	}
+	lit += "}"
+	t.Fatalf("seed %d: %s\nminimal failing subset (%d points):\n%s", seed, msg, len(pts), lit)
+}
+
+// checkProperty runs check over rounds of random batches drawn in bounds,
+// shrinking and reporting the first failure.
+func checkProperty(t *testing.T, rounds, maxPts int, check property) {
+	t.Helper()
+	bounds := geom.Square(100)
+	for round := 0; round < rounds; round++ {
+		seed := int64(round + 1)
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(maxPts-3+1)
+		pts := make([]geom.Vec2, 0, n)
+		for i := 0; i < n; i++ {
+			p := geom.V2(rng.Float64()*100, rng.Float64()*100)
+			// Half the rounds snap to a coarse lattice to force the
+			// degenerate cases (collinear runs, cocircular quads) that
+			// uniform floats almost never produce.
+			if round%2 == 1 {
+				p = geom.V2(math.Round(p.X/10)*10, math.Round(p.Y/10)*10)
+			}
+			if bounds.Contains(p) {
+				pts = append(pts, p)
+			}
+		}
+		if minimal, msg := shrink(pts, check); msg != "" {
+			reportShrunk(t, seed, minimal, msg)
+		}
+	}
+}
+
+// TestShrinkFindsMinimalSubset pins the shrinker's contract on a
+// synthetic property ("fails while ≥ 2 points lie right of x = 50"): the
+// minimal failing subset must be exactly two such points.
+func TestShrinkFindsMinimalSubset(t *testing.T) {
+	check := func(pts []geom.Vec2) string {
+		right := 0
+		for _, p := range pts {
+			if p.X > 50 {
+				right++
+			}
+		}
+		if right >= 2 {
+			return fmt.Sprintf("%d points right of x=50", right)
+		}
+		return ""
+	}
+	pts := []geom.Vec2{
+		geom.V2(10, 10), geom.V2(60, 20), geom.V2(30, 80),
+		geom.V2(70, 70), geom.V2(90, 5), geom.V2(40, 40),
+	}
+	minimal, msg := shrink(pts, check)
+	if msg == "" {
+		t.Fatal("synthetic property unexpectedly holds")
+	}
+	if len(minimal) != 2 {
+		t.Fatalf("minimal subset has %d points, want 2: %v", len(minimal), minimal)
+	}
+	for _, p := range minimal {
+		if p.X <= 50 {
+			t.Fatalf("minimal subset kept irrelevant point %v", p)
+		}
+	}
+}
+
+// TestPropertyEmptyCircumcircle asserts the defining Delaunay invariant
+// directly — for every triangle, no other vertex lies strictly inside its
+// circumcircle — over random and lattice-snapped point sets, independently
+// of the structure's own CheckInvariants plumbing.
+func TestPropertyEmptyCircumcircle(t *testing.T) {
+	bounds := geom.Square(100)
+	check := func(pts []geom.Vec2) string {
+		tr := New(bounds)
+		for _, p := range pts {
+			if _, err := tr.Insert(p); err != nil && !errors.Is(err, ErrDuplicate) {
+				return ""
+			}
+		}
+		for _, tri := range tr.Triangles() {
+			a, b, c := tr.Point(tri.V[0]), tr.Point(tri.V[1]), tr.Point(tri.V[2])
+			for _, id := range tr.VertexIDs() {
+				if id == tri.V[0] || id == tri.V[1] || id == tri.V[2] {
+					continue
+				}
+				if geom.InCircle(a, b, c, tr.Point(id)) {
+					return fmt.Sprintf("vertex %v inside circumcircle of (%v %v %v)", tr.Point(id), a, b, c)
+				}
+			}
+		}
+		return ""
+	}
+	checkProperty(t, 60, 40, check)
+}
+
+// TestPropertyAreaEqualsHullArea asserts that the triangulation tiles
+// exactly the convex hull of its vertices: the sum of triangle areas must
+// equal the hull area (computed independently by monotone chain), for
+// arbitrary point sets — not just ones anchored at the region corners.
+func TestPropertyAreaEqualsHullArea(t *testing.T) {
+	bounds := geom.Square(100)
+	check := func(pts []geom.Vec2) string {
+		tr := New(bounds)
+		for _, p := range pts {
+			if _, err := tr.Insert(p); err != nil && !errors.Is(err, ErrDuplicate) {
+				return ""
+			}
+		}
+		triArea := 0.0
+		for _, tri := range tr.Triangles() {
+			triArea += math.Abs(geom.TriArea(tr.Point(tri.V[0]), tr.Point(tri.V[1]), tr.Point(tri.V[2])))
+		}
+		verts := make([]geom.Vec2, 0, tr.NumVertices())
+		for _, id := range tr.VertexIDs() {
+			verts = append(verts, tr.Point(id))
+		}
+		hullArea := convexHullArea(verts)
+		if math.Abs(triArea-hullArea) > 1e-6*(1+hullArea) {
+			return fmt.Sprintf("triangle area %v != hull area %v", triArea, hullArea)
+		}
+		return ""
+	}
+	checkProperty(t, 60, 40, check)
+}
+
+// convexHullArea computes the area of the convex hull of pts via the
+// Andrew monotone-chain construction followed by the shoelace formula. It
+// is deliberately independent of the triangulation code it checks.
+func convexHullArea(pts []geom.Vec2) float64 {
+	hull := convexHull(pts)
+	if len(hull) < 3 {
+		return 0
+	}
+	area := 0.0
+	for i := range hull {
+		j := (i + 1) % len(hull)
+		area += hull[i].X*hull[j].Y - hull[j].X*hull[i].Y
+	}
+	return math.Abs(area) / 2
+}
+
+// convexHull is Andrew's monotone chain: sort lexicographically, build
+// lower and upper chains dropping non-left turns.
+func convexHull(pts []geom.Vec2) []geom.Vec2 {
+	p := append([]geom.Vec2(nil), pts...)
+	sort.Slice(p, func(i, j int) bool {
+		if p[i].X != p[j].X {
+			return p[i].X < p[j].X
+		}
+		return p[i].Y < p[j].Y
+	})
+	// Dedup: equal points break the chain construction.
+	uniq := p[:0]
+	for i, q := range p {
+		if i == 0 || q != p[i-1] {
+			uniq = append(uniq, q)
+		}
+	}
+	p = uniq
+	if len(p) < 3 {
+		return p
+	}
+	cross := func(o, a, b geom.Vec2) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	var lower, upper []geom.Vec2
+	for _, q := range p {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], q) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, q)
+	}
+	for i := len(p) - 1; i >= 0; i-- {
+		q := p[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], q) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, q)
+	}
+	return append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+}

@@ -42,7 +42,18 @@ type DegradationRow struct {
 	// Rebuilds counts the slots on which movement or a sink death forced
 	// a full tree rebuild instead of a local repair.
 	Rebuilds int
+	// ConvergenceT is the first time at which the swarm's mean
+	// displacement drops below ConvergenceEps and stays there for the
+	// rest of the run; meaningful only when Converged is true.
+	ConvergenceT float64
+	// Converged reports whether the swarm settled within the run.
+	Converged bool
 }
+
+// ConvergenceEps is the mean-displacement threshold below which the swarm
+// counts as settled — the paper's CMA convergence criterion (≈0.1 m/min
+// against a 1 m/min velocity limit).
+const ConvergenceEps = 0.1
 
 // DegradationSweep measures graceful degradation: for each failure rate it
 // runs the CMA swarm under fault.Profile(rate, slots, seed) — node crashes,
@@ -66,7 +77,7 @@ func DegradationSweep(dyn field.DynField, k, slots, deltaN int, rates []float64,
 		if err != nil {
 			return nil, fmt.Errorf("eval: degradation world rate=%g: %w", rate, err)
 		}
-		row, err := runDegradation(w, slots, deltaN)
+		row, err := RunDegradation(w, slots, deltaN)
 		if err != nil {
 			return nil, fmt.Errorf("eval: degradation rate=%g: %w", rate, err)
 		}
@@ -76,18 +87,32 @@ func DegradationSweep(dyn field.DynField, k, slots, deltaN int, rates []float64,
 	return rows, nil
 }
 
-// runDegradation drives one world for slots steps, maintaining the
-// collection tree across failures and accumulating the row's metrics.
-func runDegradation(w *sim.World, slots, deltaN int) (DegradationRow, error) {
+// RunDegradation drives one already-built world for slots steps,
+// maintaining a collection tree over the survivors (local repair where
+// possible, rebuild where not) and accumulating the row's metrics —
+// including the convergence time of the swarm's mean displacement. It is
+// the single-cell unit under DegradationSweep, exported so scenario
+// harnesses (internal/sweep) can run one fault profile per cell without
+// re-running the whole rate grid. Link checks use the world's own Rc.
+func RunDegradation(w *sim.World, slots, deltaN int) (DegradationRow, error) {
 	var row DegradationRow
-	rc := sim.DefaultOptions().Config.Rc // paper Section 6 radius
+	rc := w.Rc()
 	inj := w.Injector()
 	var tree *collect.Tree
 	connected, deltaSlots := 0, 0
 	reachSum := 0.0
+	conv := -1.0
 	for s := 0; s < slots; s++ {
-		if _, err := w.Step(); err != nil {
+		stats, err := w.Step()
+		if err != nil {
 			return row, fmt.Errorf("slot %d: %w", s, err)
+		}
+		if stats.MeanDisplacement < ConvergenceEps {
+			if conv < 0 {
+				conv = stats.T
+			}
+		} else {
+			conv = -1
 		}
 		if w.Connected() {
 			connected++
@@ -109,6 +134,10 @@ func runDegradation(w *sim.World, slots, deltaN int) (DegradationRow, error) {
 	}
 	row.ConnectedUptime = float64(connected) / float64(slots)
 	row.SinkReach = reachSum / float64(slots)
+	if conv >= 0 {
+		row.ConvergenceT = conv
+		row.Converged = true
+	}
 	if deltaSlots > 0 {
 		row.DeltaMean /= float64(deltaSlots)
 	}

@@ -1,0 +1,120 @@
+package linalg
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzLeastSquaresHuber feeds arbitrary m×3 systems to the robust solver
+// and asserts its two contracts: finite, bounded inputs never produce
+// non-finite coefficients (nor a panic), and on outlier-free data — b
+// constructed exactly as A·x₀, where the residual spread collapses to FP
+// dust — the routine returns the plain QR least-squares solution
+// unchanged, bit for bit.
+func FuzzLeastSquaresHuber(f *testing.F) {
+	// Seed a well-conditioned 5×3 system: A columns [1, x, x²], b mixed.
+	seed := make([]byte, 0, 8*23)
+	for _, v := range []float64{
+		1, 0, 0, 1, 1, 1, 1, 2, 4, 1, 3, 9, 1, 4, 16, // A rows
+		0.5, 1.5, 4.2, 9.1, 16.3, // b
+		2, -1, 0.5, // x0
+	} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := decodeFloats(data, 1e8)
+		const n = 3
+		m := (len(vals) - n) / (n + 1)
+		if m > 12 {
+			m = 12
+		}
+		if m < n {
+			return // underdetermined systems are rejected upstream
+		}
+		a := NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, vals[i*n+j])
+			}
+		}
+		b := vals[m*n : m*n+m]
+		x0 := vals[m*n+m : m*n+m+n]
+
+		// Contract 1: arbitrary finite b never yields non-finite output.
+		if x, err := LeastSquaresHuber(a, b, 0, 0); err == nil {
+			requireFinite(t, "huber(a, b)", x)
+		}
+
+		// Contract 2: zero outliers. b′ = A·x₀ computed by the same MulVec
+		// the solver uses internally, so the first iterate's residuals are
+		// bit-zero and the routine must return the plain QR solution.
+		bc, err := a.MulVec(x0)
+		if err != nil {
+			t.Fatalf("MulVec: %v", err)
+		}
+		plain, errP := LeastSquares(a, bc)
+		robust, errR := LeastSquaresHuber(a, bc, 0, 0)
+		if (errP == nil) != (errR == nil) {
+			t.Fatalf("plain err=%v but robust err=%v on the same system", errP, errR)
+		}
+		if errP != nil {
+			return // singular either way: consistent rejection is the contract
+		}
+		requireFinite(t, "huber(a, A·x0)", robust)
+		// Exact agreement is only promised when the residual spread
+		// collapses under the solver's own scale test; re-derive it here.
+		ax, err := a.MulVec(plain)
+		if err != nil {
+			t.Fatalf("MulVec: %v", err)
+		}
+		absRes := make([]float64, m)
+		maxB := 0.0
+		for i := range absRes {
+			absRes[i] = math.Abs(ax[i] - bc[i])
+			if v := math.Abs(bc[i]); v > maxB {
+				maxB = v
+			}
+		}
+		sort.Float64s(absRes)
+		med := absRes[m/2]
+		if m%2 == 0 {
+			med = (absRes[m/2-1] + absRes[m/2]) / 2
+		}
+		if 1.4826*med <= 1e-10*(1+maxB) {
+			for j := range plain {
+				if robust[j] != plain[j] {
+					t.Fatalf("zero-outlier huber diverged from plain LSQ: %v vs %v", robust, plain)
+				}
+			}
+		}
+	})
+}
+
+// decodeFloats splits data into 8-byte little-endian float64s, dropping
+// non-finite values and any with magnitude above limit — the fuzz contract
+// is over finite, bounded inputs.
+func decodeFloats(data []byte, limit float64) []float64 {
+	vals := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > limit {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+func requireFinite(t *testing.T, what string, x []float64) {
+	t.Helper()
+	for j, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s coefficient %d is non-finite: %v (all: %v)", what, j, v, x)
+		}
+	}
+}

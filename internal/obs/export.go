@@ -24,6 +24,51 @@ type HistogramSnapshot struct {
 	Counts []int64 `json:"counts"`
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the bucket holding the
+// target rank, the same estimator Prometheus' histogram_quantile uses.
+// Observations landing in the +Inf overflow bucket are reported as the
+// highest finite bound (the estimator cannot see past it), and an empty
+// histogram yields NaN. Run reports use this for p50/p95 wall-time lines;
+// it is an estimate bounded by bucket resolution, not an exact order
+// statistic.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			break // overflow bucket
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	if len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry, shaped
 // for JSON. Map keys are metric names; encoding/json emits them sorted,
 // so the output is deterministic and golden-testable.

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantile pins the snapshot quantile estimator against
+// hand-computed values: Prometheus-style linear interpolation inside the
+// winning bucket, the highest finite bound for ranks that land in the
+// overflow bucket, clamping outside [0, 1], and NaN for empty histograms.
+func TestHistogramQuantile(t *testing.T) {
+	h := HistogramSnapshot{
+		Count:  10,
+		Bounds: []float64{1, 2, 4},
+		// 2 in (-inf,1], 5 in (1,2], 2 in (2,4], 1 overflow.
+		Counts: []int64{2, 5, 2, 1},
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 0},     // rank 0 interpolates to the first bucket's floor
+		{0.2, 1},   // rank 2: exactly exhausts bucket 0
+		{0.5, 1.6}, // rank 5: 3/5 through (1,2]
+		{0.7, 2},   // rank 7: exactly exhausts bucket 1
+		{0.9, 4},   // rank 9: exactly exhausts bucket 2
+		{0.95, 4},  // overflow bucket: highest finite bound
+		{1, 4},     // ditto
+		{1.5, 4},   // clamped to q=1
+		{-0.5, 0},  // clamped to q=0
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile(0.5) = %v, want NaN", got)
+	}
+
+	// Live registry round trip: observations below/above the bounds land
+	// where the estimator expects them.
+	reg := NewRegistry()
+	hist := reg.Histogram("q_test_seconds", []float64{1, 10})
+	for _, v := range []float64{0.5, 0.5, 5, 5, 5, 100} {
+		hist.Observe(v)
+	}
+	snap, ok := reg.Snapshot().Histograms["q_test_seconds"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if got := snap.Quantile(0.5); math.Abs(got-4) > 1e-12 {
+		// rank 3: one observation into the 3-strong (1,10] bucket → 1 + 9/3.
+		t.Errorf("live Quantile(0.5) = %v, want 4", got)
+	}
+	if got := snap.Quantile(1); got != 10 {
+		t.Errorf("live Quantile(1) = %v, want 10 (highest finite bound)", got)
+	}
+}

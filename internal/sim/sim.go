@@ -167,6 +167,13 @@ func (w *World) N() int { return w.eng.N() }
 // Time returns the current world time in minutes.
 func (w *World) Time() float64 { return w.eng.Time() }
 
+// Rc returns the world's communication radius — the Config.Rc every
+// connectivity and collection-tree decision in this world uses. Harnesses
+// that maintain network structures alongside a world (tree repair, sweep
+// cells at non-default radii) must test links at this radius rather than
+// re-deriving it from the default configuration.
+func (w *World) Rc() float64 { return w.opts.Config.Rc }
+
 // Positions returns a copy of the current node positions.
 func (w *World) Positions() []geom.Vec2 { return w.eng.Positions() }
 

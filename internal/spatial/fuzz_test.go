@@ -1,0 +1,116 @@
+package spatial
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzSpatialIndex checks the grid hash against the brute-force oracle it
+// exists to accelerate: for arbitrary point sets, cell sizes, query points
+// and radii, Within must return exactly the indices a linear scan finds
+// (ascending, duplicates-free), and Pairs must enumerate exactly the
+// unordered pairs at distance ≤ r. Both comparisons use the same dist² ≤ r²
+// expression as the implementation so boundary points cannot diverge on
+// floating-point grounds.
+func FuzzSpatialIndex(f *testing.F) {
+	mk := func(vs ...float64) []byte {
+		b := make([]byte, 0, 8*len(vs))
+		for _, v := range vs {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	// cell, query x/y, radius, then point coordinates.
+	f.Add(mk(10, 50, 50, 25, 0, 0, 100, 100, 50, 50, 50.1, 49.9))
+	f.Add(mk(1, 0, 0, 0, 0, 0))            // zero radius, query on a point
+	f.Add(mk(500, -3, 7, 1e6, 1, 2, 3, 4)) // cell ≫ extent, radius ≫ extent
+	f.Add(mk(0.25, 9, 9, 3))               // empty point set
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := decodeFloats(data, 1e6)
+		if len(vals) < 4 {
+			return
+		}
+		// Normalize into the index's practical domain: the grid allocates
+		// (extent/cell)² buckets and Pairs scans (r/cell)² neighbor offsets,
+		// so coordinates are folded into (-200, 200), the cell into [1, 50)
+		// and the radius into [0, 250) — still wide enough to exercise
+		// multi-bucket spans, clamping at the borders and degenerate
+		// single-cell grids, without admitting inputs whose cost is
+		// unbounded by construction.
+		cell := 1 + math.Mod(math.Abs(vals[0]), 49)
+		q := geom.V2(math.Mod(vals[1], 200), math.Mod(vals[2], 200))
+		r := math.Mod(math.Abs(vals[3]), 250)
+		vals = vals[4:]
+		pts := make([]geom.Vec2, 0, len(vals)/2)
+		for i := 0; i+1 < len(vals) && len(pts) < 64; i += 2 {
+			pts = append(pts, geom.V2(math.Mod(vals[i], 200), math.Mod(vals[i+1], 200)))
+		}
+
+		idx, err := NewIndex(pts, cell)
+		if err != nil {
+			t.Fatalf("NewIndex(%d pts, cell=%v): %v", len(pts), cell, err)
+		}
+
+		// Within vs linear scan.
+		got := idx.Within(nil, q, r)
+		r2 := r * r
+		var want []int
+		for i, p := range pts {
+			if q.Dist2(p) <= r2 {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Within(q=%v, r=%v): got %v, want %v (cell=%v, pts=%v)", q, r, got, want, cell, pts)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Within(q=%v, r=%v): got %v, want %v (cell=%v, pts=%v)", q, r, got, want, cell, pts)
+			}
+		}
+
+		// Pairs vs the quadratic oracle.
+		type pair [2]int
+		gotPairs := map[pair]int{}
+		idx.Pairs(r, func(i, j int) {
+			if i >= j {
+				t.Fatalf("Pairs emitted non-canonical pair (%d, %d)", i, j)
+			}
+			gotPairs[pair{i, j}]++
+		})
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				in := pts[i].Dist2(pts[j]) <= r2
+				switch n := gotPairs[pair{i, j}]; {
+				case in && n != 1:
+					t.Fatalf("Pairs(r=%v): pair (%d, %d) emitted %d times, want 1 (cell=%v, pts=%v)", r, i, j, n, cell, pts)
+				case !in && n != 0:
+					t.Fatalf("Pairs(r=%v): spurious pair (%d, %d) (cell=%v, pts=%v)", r, i, j, cell, pts)
+				}
+				delete(gotPairs, pair{i, j})
+			}
+		}
+		if len(gotPairs) != 0 {
+			t.Fatalf("Pairs(r=%v): emitted out-of-range indices: %v", r, gotPairs)
+		}
+	})
+}
+
+// decodeFloats splits data into 8-byte little-endian float64s, dropping
+// non-finite values and any with magnitude above limit.
+func decodeFloats(data []byte, limit float64) []float64 {
+	vals := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > limit {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}

@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The checkpoint file is JSONL: one self-contained line per completed
+// cell, appended and flushed as cells finish. Each line carries the cell's
+// digest and its full Result, so resuming needs no access to the original
+// run — only the spec (to re-derive digests) and the file. A process
+// killed mid-write leaves at most one torn final line, which fails to
+// parse and is simply recomputed; float64 values survive the JSON
+// round-trip bit-exactly (encoding/json emits the shortest representation
+// that parses back to the same float), which is what keeps a resumed
+// sweep's aggregated output byte-identical to an uninterrupted one.
+type checkpointEntry struct {
+	Digest string `json:"digest"`
+	Result Result `json:"result"`
+}
+
+// readCheckpoint loads completed-cell results keyed by digest. A missing
+// file is an empty checkpoint; unparsable lines (torn final writes) are
+// skipped.
+func readCheckpoint(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]Result{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	prior := make(map[string]Result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e checkpointEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Digest == "" {
+			continue // torn or foreign line: recompute that cell
+		}
+		prior[e.Digest] = e.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	return prior, nil
+}
+
+// checkpointWriter appends one flushed JSONL entry per completed cell.
+// Appends are serialized by a mutex — workers call it concurrently — and
+// each entry is flushed to the OS before append returns, so a kill after
+// a cell's completion never loses that cell.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// newCheckpointWriter opens path for appending; with resume=false any
+// existing checkpoint is truncated so stale digests cannot accumulate.
+func newCheckpointWriter(path string, resume bool) (*checkpointWriter, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open checkpoint for write: %w", err)
+	}
+	return &checkpointWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append records one completed cell.
+func (c *checkpointWriter) append(r Result) error {
+	line, err := json.Marshal(checkpointEntry{Digest: r.Digest, Result: r})
+	if err != nil {
+		return fmt.Errorf("sweep: marshal checkpoint entry: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(line); err != nil {
+		return fmt.Errorf("sweep: write checkpoint: %w", err)
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("sweep: write checkpoint: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("sweep: flush checkpoint: %w", err)
+	}
+	return nil
+}
+
+// close flushes and closes the underlying file.
+func (c *checkpointWriter) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ferr := c.w.Flush()
+	cerr := c.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -1,0 +1,305 @@
+// Package sweep is the scenario-sweep execution engine: the paper's
+// evaluation (Section 6) is a grid of scenarios — field shape, node count
+// k, communication radius Rc, fault severity, seed — evaluated one cell at
+// a time, and this package turns that grid into a batch workload. A
+// declarative, JSON-loadable Spec describes the cartesian product; the
+// engine shards the cells across a bounded worker pool, runs each cell
+// through the sim/engine/eval stack in isolation, streams the results into
+// an order-independent aggregator, and checkpoints completed cells so an
+// interrupted sweep resumes without recomputing.
+//
+// Determinism contract: every cell is seeded independently and touches no
+// shared mutable state, so a cell's result is bit-identical to a serial
+// run of the same spec regardless of worker count, completion order, or
+// whether the result was computed live or replayed from a checkpoint. The
+// aggregated output is ordered by cell index and therefore byte-identical
+// across runs.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+// FieldSpec selects and parameterizes one environment generator. Kind is
+// mandatory; the remaining knobs default per kind so a bare
+// {"kind":"forest"} is the paper's GreenOrbs-style canopy.
+type FieldSpec struct {
+	// Kind names the generator: "forest", "peaks", "terrain" or "ridge".
+	Kind string `json:"kind"`
+	// Seed overrides the generator's default seed (forest canopy layout,
+	// terrain noise). 0 keeps the kind's default.
+	Seed int64 `json:"seed,omitempty"`
+	// Size is the square region side in meters; 0 defaults to 100, the
+	// paper's region.
+	Size float64 `json:"size,omitempty"`
+	// Gaps is the forest canopy-gap count; 0 keeps the default.
+	Gaps int `json:"gaps,omitempty"`
+	// Levels and Roughness parameterize the terrain generator; zero
+	// values keep the defaults.
+	Levels    int     `json:"levels,omitempty"`
+	Roughness float64 `json:"roughness,omitempty"`
+}
+
+// fieldKinds lists the accepted FieldSpec kinds.
+var fieldKinds = map[string]bool{"forest": true, "peaks": true, "terrain": true, "ridge": true}
+
+// Validate rejects unknown kinds and malformed knobs.
+func (fs FieldSpec) Validate() error {
+	if !fieldKinds[fs.Kind] {
+		return fmt.Errorf("sweep: unknown field kind %q", fs.Kind)
+	}
+	if fs.Size < 0 || fs.Gaps < 0 || fs.Levels < 0 || fs.Roughness < 0 {
+		return fmt.Errorf("sweep: negative field parameter in %+v", fs)
+	}
+	return nil
+}
+
+// Build constructs the field. Every call returns a fresh instance, so
+// concurrent cells never share generator state.
+func (fs FieldSpec) Build() (field.DynField, error) {
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	size := fs.Size
+	if size <= 0 {
+		size = 100
+	}
+	region := geom.Square(size)
+	switch fs.Kind {
+	case "forest":
+		cfg := field.DefaultForestConfig()
+		cfg.Region = region
+		if fs.Seed != 0 {
+			cfg.Seed = fs.Seed
+		}
+		if fs.Gaps > 0 {
+			cfg.Gaps = fs.Gaps
+		}
+		return field.NewForest(cfg), nil
+	case "peaks":
+		return field.Static(field.Peaks(region)), nil
+	case "terrain":
+		levels, rough, seed := fs.Levels, fs.Roughness, fs.Seed
+		if levels <= 0 {
+			levels = 5
+		}
+		if rough <= 0 {
+			rough = 0.55
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		return field.Static(field.NewTerrain(region, levels, rough, seed)), nil
+	case "ridge":
+		return field.Static(field.Ridge(region, region.Min, region.Max, 5, size/8)), nil
+	}
+	return nil, fmt.Errorf("sweep: unknown field kind %q", fs.Kind)
+}
+
+// Label is the human- and CSV-facing name of the field configuration:
+// the kind, with non-default seed and size attached.
+func (fs FieldSpec) Label() string {
+	var b strings.Builder
+	b.WriteString(fs.Kind)
+	if fs.Seed != 0 {
+		fmt.Fprintf(&b, "@%d", fs.Seed)
+	}
+	if fs.Size > 0 && fs.Size != 100 {
+		fmt.Fprintf(&b, "/%gm", fs.Size)
+	}
+	return b.String()
+}
+
+// Spec is the declarative scenario grid: the sweep runs the cartesian
+// product Fields × Ks × Rcs × Faults × Seeds, with the resolution and
+// run-length knobs shared by every cell. Load one from JSON with
+// LoadSpec; zero optional fields take the documented defaults via
+// Normalize.
+type Spec struct {
+	// Name labels the sweep in reports and output files.
+	Name string `json:"name"`
+	// Fields are the environment generators to sweep over.
+	Fields []FieldSpec `json:"fields"`
+	// Ks are the node counts.
+	Ks []int `json:"ks"`
+	// Rcs are the communication radii.
+	Rcs []float64 `json:"rcs"`
+	// Faults are the fault profiles; empty defaults to the single
+	// fault-free profile.
+	Faults []fault.ProfileSpec `json:"faults,omitempty"`
+	// Seeds drive each cell's random baseline, sensing noise and fault
+	// streams; empty defaults to [1].
+	Seeds []int64 `json:"seeds,omitempty"`
+	// GridN is the FRA local-error lattice resolution; 0 defaults to 50.
+	GridN int `json:"grid_n,omitempty"`
+	// DeltaN is the δ integration lattice resolution; 0 defaults to 50.
+	DeltaN int `json:"delta_n,omitempty"`
+	// RandomDraws is how many random deployments are averaged into each
+	// cell's baseline; 0 skips the random baseline.
+	RandomDraws int `json:"random_draws,omitempty"`
+	// Slots is the mobile (CMA + faults) run length per cell in slots;
+	// 0 skips the mobile phase and sweeps the static FRA placement only.
+	Slots int `json:"slots,omitempty"`
+}
+
+// Normalize fills the documented defaults in place.
+func (s *Spec) Normalize() {
+	if len(s.Faults) == 0 {
+		s.Faults = []fault.ProfileSpec{{}}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	if s.GridN == 0 {
+		s.GridN = 50
+	}
+	if s.DeltaN == 0 {
+		s.DeltaN = 50
+	}
+}
+
+// Validate rejects empty or malformed grids. Call Normalize first.
+func (s *Spec) Validate() error {
+	if len(s.Fields) == 0 || len(s.Ks) == 0 || len(s.Rcs) == 0 {
+		return fmt.Errorf("sweep: spec needs at least one field, k and rc")
+	}
+	for _, fs := range s.Fields {
+		if err := fs.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, k := range s.Ks {
+		if k < 1 {
+			return fmt.Errorf("sweep: k=%d < 1", k)
+		}
+	}
+	for _, rc := range s.Rcs {
+		if rc <= 0 {
+			return fmt.Errorf("sweep: rc=%g ≤ 0", rc)
+		}
+	}
+	for _, fp := range s.Faults {
+		if err := fp.Validate(); err != nil {
+			return err
+		}
+		if fp.Rate > 0 && s.Slots == 0 {
+			return fmt.Errorf("sweep: fault rate %g needs slots > 0 (faults act on the mobile run)", fp.Rate)
+		}
+	}
+	if s.GridN < 1 || s.DeltaN < 1 || s.RandomDraws < 0 || s.Slots < 0 {
+		return fmt.Errorf("sweep: grid_n=%d delta_n=%d random_draws=%d slots=%d out of range",
+			s.GridN, s.DeltaN, s.RandomDraws, s.Slots)
+	}
+	return nil
+}
+
+// NumCells is the size of the cartesian product.
+func (s *Spec) NumCells() int {
+	return len(s.Fields) * len(s.Ks) * len(s.Rcs) * len(s.Faults) * len(s.Seeds)
+}
+
+// Cell is one point of the scenario grid.
+type Cell struct {
+	// Index is the cell's position in the fixed enumeration order
+	// (field-major, seed-minor); the aggregator orders output by it.
+	Index int
+	// Field, K, Rc, Fault and Seed are the cell's coordinates.
+	Field FieldSpec
+	K     int
+	Rc    float64
+	Fault fault.ProfileSpec
+	Seed  int64
+}
+
+// Cells enumerates the grid in the fixed deterministic order: fields
+// outermost, then ks, rcs, fault profiles, and seeds innermost.
+func (s *Spec) Cells() []Cell {
+	cells := make([]Cell, 0, s.NumCells())
+	for _, fs := range s.Fields {
+		for _, k := range s.Ks {
+			for _, rc := range s.Rcs {
+				for _, fp := range s.Faults {
+					for _, seed := range s.Seeds {
+						cells = append(cells, Cell{
+							Index: len(cells),
+							Field: fs, K: k, Rc: rc, Fault: fp, Seed: seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Digest is a stable identity for a cell's computation: it hashes every
+// input that can change the cell's result — the cell coordinates plus the
+// spec-level resolution and run-length knobs — and nothing that cannot
+// (the spec name, worker count, output paths). Checkpoint entries are
+// keyed by it, so editing a spec invalidates exactly the cells whose
+// inputs changed.
+func (s *Spec) Digest(c Cell) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "field=%s|%d|%g|%d|%d|%g;", c.Field.Kind, c.Field.Seed, c.Field.Size,
+		c.Field.Gaps, c.Field.Levels, c.Field.Roughness)
+	fmt.Fprintf(h, "k=%d;rc=%g;fault=%g|%d;seed=%d;", c.K, c.Rc, c.Fault.Rate, c.Fault.Seed, c.Seed)
+	fmt.Fprintf(h, "grid=%d;delta=%d;draws=%d;slots=%d", s.GridN, s.DeltaN, s.RandomDraws, s.Slots)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// LoadSpec parses a normalized, validated Spec from JSON. Unknown fields
+// are rejected so a typo'd knob fails loudly instead of silently sweeping
+// the wrong grid.
+func LoadSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parse spec: %w", err)
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpecFile reads a Spec from a JSON file.
+func LoadSpecFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("sweep: %w", err)
+	}
+	defer f.Close()
+	return LoadSpec(f)
+}
+
+// ExampleSpec is a small, fast grid exercising every axis — two field
+// shapes, three node counts, two fault profiles, static and mobile phases
+// — sized so a full run takes seconds. cmd/sweep -example prints it, CI
+// smokes it, and the README walks through it.
+func ExampleSpec() Spec {
+	s := Spec{
+		Name:        "example",
+		Fields:      []FieldSpec{{Kind: "forest"}, {Kind: "peaks"}},
+		Ks:          []int{10, 20, 40},
+		Rcs:         []float64{10},
+		Faults:      []fault.ProfileSpec{{}, {Rate: 0.3}},
+		Seeds:       []int64{1},
+		GridN:       30,
+		DeltaN:      30,
+		RandomDraws: 2,
+		Slots:       8,
+	}
+	s.Normalize()
+	return s
+}

@@ -1,0 +1,333 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// hundredCellSpec is the acceptance grid: 100 static cells at toy
+// resolution — 2 fields × 5 ks × 2 rcs × 5 seeds.
+func hundredCellSpec() Spec {
+	s := Spec{
+		Name:        "hundred",
+		Fields:      []FieldSpec{{Kind: "peaks"}, {Kind: "ridge"}},
+		Ks:          []int{2, 4, 6, 8, 10},
+		Rcs:         []float64{30, 60},
+		Seeds:       []int64{1, 2, 3, 4, 5},
+		GridN:       12,
+		DeltaN:      12,
+		RandomDraws: 1,
+	}
+	s.Normalize()
+	return s
+}
+
+// mobileSpec exercises the CMA-under-faults phase.
+func mobileSpec() Spec {
+	s := Spec{
+		Name:   "mobile",
+		Fields: []FieldSpec{{Kind: "forest"}},
+		Ks:     []int{12},
+		Rcs:    []float64{10},
+		Faults: []fault.ProfileSpec{{}, {Rate: 0.4}},
+		Seeds:  []int64{7},
+		GridN:  16,
+		DeltaN: 16,
+		Slots:  5,
+	}
+	s.Normalize()
+	return s
+}
+
+func renderJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkersBitIdentical is the sharding determinism contract: a
+// 100-cell spec aggregated under 8 workers is byte-identical to the
+// serial run.
+func TestWorkersBitIdentical(t *testing.T) {
+	spec := hundredCellSpec()
+	if n := spec.NumCells(); n != 100 {
+		t.Fatalf("grid has %d cells, want 100", n)
+	}
+	serial, err := Run(spec, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := Run(spec, RunOptions{Workers: 8})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	a, b := renderJSON(t, serial), renderJSON(t, parallel)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("workers=8 output differs from workers=1:\n%s\nvs\n%s", b, a)
+	}
+	var csvA, csvB bytes.Buffer
+	if err := WriteCSV(&csvA, serial); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if err := WriteCSV(&csvB, parallel); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !bytes.Equal(csvA.Bytes(), csvB.Bytes()) {
+		t.Fatal("CSV output differs between worker counts")
+	}
+	if serial.Failed != 0 || serial.Computed != 100 {
+		t.Fatalf("serial report: %+v", serial)
+	}
+}
+
+// TestResumeMatchesUninterrupted interrupts a sweep mid-grid (the
+// deterministic MaxCells interruption), resumes it from the checkpoint,
+// and demands byte-identical aggregated output — with the resumed cells
+// replayed, not recomputed.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	spec := hundredCellSpec()
+	full, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	want := renderJSON(t, full)
+
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	part, err := Run(spec, RunOptions{Workers: 4, Checkpoint: ckpt, MaxCells: 37})
+	if err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	if !part.Interrupted {
+		t.Fatal("partial run not marked interrupted")
+	}
+	if len(part.Cells) != 37 {
+		t.Fatalf("partial run finished %d cells, want 37", len(part.Cells))
+	}
+
+	resumed, err := Run(spec, RunOptions{Workers: 4, Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed.Resumed != 37 || resumed.Computed != 63 {
+		t.Fatalf("resumed=%d computed=%d, want 37/63", resumed.Resumed, resumed.Computed)
+	}
+	if got := renderJSON(t, resumed); !bytes.Equal(got, want) {
+		t.Fatal("resumed output differs from uninterrupted run")
+	}
+
+	// A second resume replays everything and recomputes nothing.
+	again, err := Run(spec, RunOptions{Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	if again.Resumed != 100 || again.Computed != 0 {
+		t.Fatalf("second resume: resumed=%d computed=%d, want 100/0", again.Resumed, again.Computed)
+	}
+	if got := renderJSON(t, again); !bytes.Equal(got, want) {
+		t.Fatal("fully-replayed output differs from uninterrupted run")
+	}
+}
+
+// TestMobilePhaseDeterministic runs the fault-injected mobile phase at
+// two worker counts and checks the grid covers both fault profiles.
+func TestMobilePhaseDeterministic(t *testing.T) {
+	spec := mobileSpec()
+	a, err := Run(spec, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Equal(renderJSON(t, a), renderJSON(t, b)) {
+		t.Fatal("mobile sweep differs between worker counts")
+	}
+	if len(a.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(a.Cells))
+	}
+	for _, r := range a.Cells {
+		if r.Mobile == nil {
+			t.Fatalf("cell %d missing mobile phase", r.Index)
+		}
+	}
+	clean, faulty := a.Cells[0], a.Cells[1]
+	if clean.FaultRate != 0 || faulty.FaultRate != 0.4 {
+		t.Fatalf("unexpected cell order: rates %g, %g", clean.FaultRate, faulty.FaultRate)
+	}
+	if clean.Mobile.Deaths != 0 {
+		t.Fatalf("fault-free cell recorded %d deaths", clean.Mobile.Deaths)
+	}
+	if faulty.Mobile.Deaths == 0 {
+		t.Fatal("rate-0.4 cell recorded no deaths")
+	}
+}
+
+// TestCheckpointTornLine simulates a process killed mid-write: the torn
+// final line is discarded on resume and only its cell recomputes.
+func TestCheckpointTornLine(t *testing.T) {
+	spec := hundredCellSpec()
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, err := Run(spec, RunOptions{Workers: 2, Checkpoint: ckpt, MaxCells: 10}); err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	f, err := os.OpenFile(ckpt, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"digest":"dead","result":{"index":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	resumed, err := Run(spec, RunOptions{Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatalf("resume over torn checkpoint: %v", err)
+	}
+	if resumed.Resumed != 10 || len(resumed.Cells) != 100 {
+		t.Fatalf("resumed=%d cells=%d, want 10/100", resumed.Resumed, len(resumed.Cells))
+	}
+}
+
+// TestDigestInvalidation: editing a knob that changes results must orphan
+// the old checkpoint entries; editing nothing must not.
+func TestDigestInvalidation(t *testing.T) {
+	spec := hundredCellSpec()
+	cells := spec.Cells()
+	d0 := spec.Digest(cells[0])
+	if d1 := spec.Digest(cells[0]); d1 != d0 {
+		t.Fatalf("digest not stable: %s vs %s", d0, d1)
+	}
+	changed := spec
+	changed.DeltaN = 24
+	if spec.Digest(cells[0]) == changed.Digest(cells[0]) {
+		t.Fatal("DeltaN change did not change the digest")
+	}
+	renamed := spec
+	renamed.Name = "other"
+	if spec.Digest(cells[0]) != renamed.Digest(cells[0]) {
+		t.Fatal("spec name leaked into the digest")
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		d := spec.Digest(c)
+		if seen[d] {
+			t.Fatalf("digest collision at cell %d", c.Index)
+		}
+		seen[d] = true
+	}
+}
+
+// TestCellFailureIsolation drives runCell into its error paths directly:
+// a failed cell reports Err and never panics the caller.
+func TestCellFailureIsolation(t *testing.T) {
+	spec := hundredCellSpec()
+	bad := Cell{Field: FieldSpec{Kind: "volcano"}, K: 4, Rc: 30, Seed: 1}
+	r := runCell(&spec, bad, nil)
+	if r.Err == "" {
+		t.Fatal("unknown field kind did not fail the cell")
+	}
+	broken := spec
+	broken.GridN = -1 // bypasses Normalize: FRA must reject it
+	r = runCell(&broken, spec.Cells()[0], nil)
+	if r.Err == "" {
+		t.Fatal("invalid GridN did not fail the cell")
+	}
+}
+
+// TestSpecValidation covers the load-time guardrails.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"empty grid", `{"name":"x","fields":[],"ks":[1],"rcs":[10]}`},
+		{"bad k", `{"fields":[{"kind":"peaks"}],"ks":[0],"rcs":[10]}`},
+		{"bad rc", `{"fields":[{"kind":"peaks"}],"ks":[5],"rcs":[-1]}`},
+		{"bad kind", `{"fields":[{"kind":"lava"}],"ks":[5],"rcs":[10]}`},
+		{"unknown knob", `{"fields":[{"kind":"peaks"}],"ks":[5],"rcs":[10],"wrkers":4}`},
+		{"fault without slots", `{"fields":[{"kind":"peaks"}],"ks":[5],"rcs":[10],"faults":[{"rate":0.5}]}`},
+		{"fault rate too high", `{"fields":[{"kind":"peaks"}],"ks":[5],"rcs":[10],"slots":5,"faults":[{"rate":1.5}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := LoadSpec(strings.NewReader(tc.json)); err == nil {
+			t.Errorf("%s: spec accepted", tc.name)
+		}
+	}
+	good := `{"name":"ok","fields":[{"kind":"forest","seed":3}],"ks":[5,10],"rcs":[10],"slots":4,"faults":[{"rate":0.2}]}`
+	s, err := LoadSpec(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	if s.GridN != 50 || s.DeltaN != 50 || len(s.Seeds) != 1 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.NumCells() != 2 {
+		t.Fatalf("NumCells=%d, want 2", s.NumCells())
+	}
+}
+
+// TestExampleSpecRuns keeps the worked example from the README and
+// cmd/sweep -example genuinely runnable, with every axis exercised.
+func TestExampleSpecRuns(t *testing.T) {
+	spec := ExampleSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("example spec invalid: %v", err)
+	}
+	if testing.Short() {
+		t.Skip("example run skipped in -short")
+	}
+	reg := obs.NewRegistry()
+	rep, err := Run(spec, RunOptions{Workers: 4, Metrics: reg})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Cells) != spec.NumCells() || rep.Failed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sweep_cells_completed_total"]; got != int64(spec.NumCells()) {
+		t.Fatalf("sweep_cells_completed_total=%d, want %d", got, spec.NumCells())
+	}
+	if snap.Histograms["sweep_cell_seconds"].Count != int64(spec.NumCells()) {
+		t.Fatal("cell wall-time histogram missed cells")
+	}
+	var tbl bytes.Buffer
+	if err := WriteTable(&tbl, rep); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	if !strings.Contains(tbl.String(), "δ_end") {
+		t.Fatal("mobile columns missing from table")
+	}
+}
+
+// TestStopChannel interrupts a run via the Stop channel and resumes it.
+func TestStopChannel(t *testing.T) {
+	spec := hundredCellSpec()
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	stop := make(chan struct{})
+	close(stop) // stop before the first pick: everything remains pending
+	rep, err := Run(spec, RunOptions{Workers: 2, Checkpoint: ckpt, Stop: stop})
+	if err != nil {
+		t.Fatalf("stopped run: %v", err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("stopped run not marked interrupted")
+	}
+	resumed, err := Run(spec, RunOptions{Workers: 4, Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if len(resumed.Cells) != 100 || resumed.Interrupted {
+		t.Fatalf("resume incomplete: %+v", resumed)
+	}
+}
