@@ -8,7 +8,13 @@
 //
 //	bench                                  # full run, writes BENCH_<rev>.json
 //	bench -quick -out /tmp/b.json          # one iteration per scenario
+//	bench -scenario step_100k -quick       # only the named scenarios
 //	bench -compare -tol 0.15 -gate fra_k500,step_large_n base.json pr.json
+//
+// In -compare mode the gated scenarios are checked on ns/op against -tol
+// and on allocs/bytes per op against -alloctol, so allocation regressions
+// fail CI even when they have not yet cost enough wall time to trip the
+// timing gate.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/field"
 	"repro/internal/geom"
+	"repro/internal/mobile"
 	"repro/internal/sim"
 )
 
@@ -64,20 +71,22 @@ func main() {
 	testing.Init()
 
 	var (
-		out     = flag.String("out", "", "output file (default BENCH_<rev>.json)")
-		rev     = flag.String("rev", "", "revision label (default git short HEAD)")
-		quick   = flag.Bool("quick", false, "run one iteration per scenario (fast, not comparable)")
-		compare = flag.Bool("compare", false, "compare two report files: bench -compare base.json pr.json")
-		tol     = flag.Float64("tol", 0.15, "allowed ns/op regression fraction in -compare mode")
-		gate    = flag.String("gate", "fra_k500,step_large_n", "comma-separated scenarios that fail -compare on regression")
+		out      = flag.String("out", "", "output file (default BENCH_<rev>.json)")
+		rev      = flag.String("rev", "", "revision label (default git short HEAD)")
+		quick    = flag.Bool("quick", false, "run one iteration per scenario (fast, not comparable)")
+		only     = flag.String("scenario", "", "comma-separated scenario names to run (default all)")
+		compare  = flag.Bool("compare", false, "compare two report files: bench -compare base.json pr.json")
+		tol      = flag.Float64("tol", 0.15, "allowed ns/op regression fraction in -compare mode")
+		allocTol = flag.Float64("alloctol", 0.10, "allowed allocs/bytes per-op regression fraction in -compare mode")
+		gate     = flag.String("gate", "fra_k500,step_large_n", "comma-separated scenarios that fail -compare on regression")
 	)
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			log.Fatal("usage: bench -compare [-tol F] [-gate a,b] base.json pr.json")
+			log.Fatal("usage: bench -compare [-tol F] [-alloctol F] [-gate a,b] base.json pr.json")
 		}
-		ok, err := compareReports(os.Stdout, flag.Arg(0), flag.Arg(1), *tol, gateSet(*gate))
+		ok, err := compareReports(os.Stdout, flag.Arg(0), flag.Arg(1), *tol, *allocTol, gateSet(*gate))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,10 +117,28 @@ func main() {
 		Benchmarks: map[string]Result{},
 		Quality:    map[string]float64{},
 	}
+	selected := gateSet(*only)
 	forest := field.NewForest(field.DefaultForestConfig())
+	matched := 0
 	for _, sc := range scenarios(forest) {
+		if len(selected) > 0 && !selected[sc.name] {
+			continue
+		}
+		matched++
 		fmt.Printf("running %-14s ... ", sc.name)
 		r := testing.Benchmark(sc.bench)
+		if !*quick && r.N < sc.minIters {
+			// testing.Benchmark settles on too few iterations when one op
+			// exceeds the benchtime budget (a 2+ second step yields n=1,
+			// pure noise). Rerun pinned to the scenario's floor.
+			if err := flag.Set("test.benchtime", fmt.Sprintf("%dx", sc.minIters)); err != nil {
+				log.Fatal(err)
+			}
+			r = testing.Benchmark(sc.bench)
+			if err := flag.Set("test.benchtime", "1s"); err != nil {
+				log.Fatal(err)
+			}
+		}
 		res := Result{
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -121,8 +148,13 @@ func main() {
 		rep.Benchmarks[sc.name] = res
 		fmt.Printf("%12.0f ns/op  %8d allocs/op  (n=%d)\n", res.NsPerOp, res.AllocsPerOp, res.Iters)
 	}
-	if err := quality(forest, rep.Quality, *quick); err != nil {
-		log.Fatal(err)
+	if len(selected) > 0 && matched == 0 {
+		log.Fatalf("no scenario matches -scenario %q", *only)
+	}
+	if len(selected) == 0 {
+		if err := quality(forest, rep.Quality, *quick); err != nil {
+			log.Fatal(err)
+		}
 	}
 	for _, k := range sortedKeys(rep.Quality) {
 		fmt.Printf("quality %-20s %g\n", k, rep.Quality[k])
@@ -145,22 +177,44 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
-// scenario is one named benchmark body.
+// scenario is one named benchmark body. minIters is the minimum iteration
+// count a full (non-quick) run must reach before its numbers are recorded;
+// testing.Benchmark is rerun pinned to the floor when its time-budgeted
+// pass settles below it.
 type scenario struct {
-	name  string
-	bench func(b *testing.B)
+	name     string
+	minIters int
+	bench    func(b *testing.B)
 }
 
 // scenarios returns the canonical suite: the two FRA placements the CI
-// gate watches, the n=2000 engine step, and one OSTD simulation round.
+// gate watches, the n=2000 engine step, one OSTD simulation round, and
+// the 100k-node swarm slot that exists to keep steady-state stepping
+// allocation-free at scale.
 func scenarios(forest *field.Forest) []scenario {
 	ref := forest.Reference()
 	return []scenario{
-		{"fra_k100", benchFRA(ref, 100)},
-		{"fra_k500", benchFRA(ref, 500)},
-		{"step_large_n", benchStep(forest, randomLayout(forest.Bounds(), 2000, 17))},
-		{"ostd_round", benchStep(forest, field.GridLayout(forest.Bounds(), 100))},
+		{"fra_k100", 5, benchFRA(ref, 100)},
+		{"fra_k500", 3, benchFRA(ref, 500)},
+		{"step_large_n", 5, benchStep(forest, randomLayout(forest.Bounds(), 2000, 17), nil)},
+		{"ostd_round", 5, benchStep(forest, field.GridLayout(forest.Bounds(), 100), nil)},
+		{"step_100k", 2, bench100k()},
 	}
+}
+
+// bench100k builds the 100k-node scenario: a 1 km² forest with a connected
+// grid swarm at density-scaled sensing parameters (Rs = 3 keeps the
+// per-node sample disc and candidate count proportionate to the ~3.2 m
+// grid pitch; Rc = 8 keeps ~19 unit-disk neighbors). One op is one slot.
+func bench100k() func(b *testing.B) {
+	cfg := field.DefaultForestConfig()
+	cfg.Region = geom.Square(1000)
+	forest := field.NewForest(cfg)
+	mc := mobile.DefaultConfig()
+	mc.Region = forest.Bounds()
+	mc.Rs = 3
+	mc.Rc = 8
+	return benchStep(forest, field.GridLayout(forest.Bounds(), 100000), &mc)
 }
 
 // benchFRA measures one full FRA placement at node count k.
@@ -177,10 +231,15 @@ func benchFRA(ref field.Field, k int) func(b *testing.B) {
 
 // benchStep measures one simulation slot from the given initial layout.
 // The field is time-varying, so successive iterations sample successive
-// slots — the same regime the CI engine smoke measures.
-func benchStep(forest *field.Forest, init []geom.Vec2) func(b *testing.B) {
+// slots — the same regime the CI engine smoke measures. A non-nil cfg
+// overrides the default per-node configuration.
+func benchStep(forest *field.Forest, init []geom.Vec2, cfg *mobile.Config) func(b *testing.B) {
 	return func(b *testing.B) {
-		w, err := sim.NewWorld(forest, init, sim.DefaultOptions())
+		opts := sim.DefaultOptions()
+		if cfg != nil {
+			opts.Config = *cfg
+		}
+		w, err := sim.NewWorld(forest, init, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -286,7 +345,7 @@ func readReport(path string) (Report, error) {
 // whether every gated scenario stayed within the tolerance. Scenarios
 // missing from the base (new benchmarks) pass; quick-mode reports are
 // rejected because their timings are single-shot noise.
-func compareReports(w *os.File, basePath, prPath string, tol float64, gated map[string]bool) (bool, error) {
+func compareReports(w *os.File, basePath, prPath string, tol, allocTol float64, gated map[string]bool) (bool, error) {
 	base, err := readReport(basePath)
 	if err != nil {
 		return false, err
@@ -299,7 +358,7 @@ func compareReports(w *os.File, basePath, prPath string, tol float64, gated map[
 		return false, fmt.Errorf("refusing to compare -quick reports (%s vs %s)", basePath, prPath)
 	}
 	ok := true
-	fmt.Fprintf(w, "base %s vs pr %s (tolerance %.0f%%)\n", base.Rev, pr.Rev, tol*100)
+	fmt.Fprintf(w, "base %s vs pr %s (tolerance %.0f%% time, %.0f%% allocs)\n", base.Rev, pr.Rev, tol*100, allocTol*100)
 	for _, name := range sortedKeys(pr.Benchmarks) {
 		cur := pr.Benchmarks[name]
 		old, seen := base.Benchmarks[name]
@@ -319,6 +378,28 @@ func compareReports(w *os.File, basePath, prPath string, tol float64, gated map[
 		}
 		fmt.Fprintf(w, "  %-14s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
 			name, old.NsPerOp, cur.NsPerOp, (ratio-1)*100, verdict)
+		for _, m := range []struct {
+			label    string
+			old, cur int64
+		}{
+			{"allocs/op", old.AllocsPerOp, cur.AllocsPerOp},
+			{"bytes/op", old.BytesPerOp, cur.BytesPerOp},
+		} {
+			if m.old <= 0 {
+				continue // older reports without the metric, or a zero base
+			}
+			r := float64(m.cur) / float64(m.old)
+			if r <= 1+allocTol {
+				continue
+			}
+			v := "more (ungated)"
+			if gated[name] {
+				v = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "  %-14s %12d -> %12d %s  %+6.1f%%  %s\n",
+				name, m.old, m.cur, m.label, (r-1)*100, v)
+		}
 	}
 	for _, name := range sortedKeys(pr.Quality) {
 		cur := pr.Quality[name]

@@ -1,0 +1,140 @@
+package curvature
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/linalg"
+)
+
+// Fitter runs repeated curvature fits from persistent scratch buffers. A
+// CMA controller performs dozens of fits per slot (its own estimate plus
+// one FitNearest per peak candidate); the package-level Fit/FitNearest
+// allocate a design matrix, a right-hand side, a QR factorization and a
+// sorted sample copy on every call, which dominates the whole simulation's
+// allocation profile at swarm scale. A Fitter owns all of that scratch and
+// grows it monotonically, so steady-state fits are allocation-free on the
+// QR path.
+//
+// Results are bit-for-bit identical to the package functions
+// (TestFitterBitIdentical): the design matrix is filled in the same order,
+// the QR arithmetic is linalg.LSQ's exact mirror of LeastSquares, and the
+// nearest-m selection sorts with the standard library's pdqsort — the same
+// algorithm sort.Slice uses — so even distance ties resolve to the same
+// permutation. The Normal and Huber backends delegate to the package
+// solvers unchanged (they are ablation/degraded-mode paths, not hot ones).
+//
+// A Fitter is not safe for concurrent use; give each goroutine (each
+// controller) its own.
+type Fitter struct {
+	method Method
+	mat    *linalg.Matrix
+	rhs    []float64
+	lsq    linalg.LSQ
+	sorter sampleSorter
+}
+
+// NewFitter returns a fitter using the given least-squares backend.
+func NewFitter(method Method) *Fitter {
+	return &Fitter{method: method}
+}
+
+// Method returns the fitter's least-squares backend.
+func (f *Fitter) Method() Method { return f.method }
+
+// Fit is the scratch-reusing equivalent of the package-level Fit.
+func (f *Fitter) Fit(origin geom.Vec2, samples []field.Sample) (Estimate, error) {
+	if len(samples) < 3 {
+		return Estimate{}, fmt.Errorf("%w: got %d", ErrTooFewSamples, len(samples))
+	}
+	n := len(samples)
+	cols := 6
+	if n < 6 {
+		cols = 3
+	}
+	if f.mat == nil {
+		f.mat = linalg.NewMatrix(n, cols)
+	} else {
+		f.mat.Reuse(n, cols)
+	}
+	if cap(f.rhs) < n {
+		f.rhs = make([]float64, n)
+	}
+	f.rhs = f.rhs[:n]
+	for i, s := range samples {
+		x, y := s.Pos.X-origin.X, s.Pos.Y-origin.Y
+		row := f.mat.RowView(i)
+		row[0] = x * x
+		row[1] = x * y
+		row[2] = y * y
+		if cols == 6 {
+			row[3] = x
+			row[4] = y
+			row[5] = 1
+		}
+		f.rhs[i] = s.Z
+	}
+	var coef []float64
+	var err error
+	if f.method == QR {
+		coef, err = f.lsq.Solve(f.mat, f.rhs)
+	} else {
+		coef, err = solve(f.mat, f.rhs, f.method)
+	}
+	if err != nil {
+		// Degenerate geometry: flat estimate, exactly like Fit.
+		return Estimate{Samples: n}, nil
+	}
+	a, b, c := coef[0], coef[1], coef[2]
+	g1, g2 := linalg.PrincipalCurvatures(a, b, c)
+	return Estimate{
+		A: a, B: b, C: c,
+		G1: g1, G2: g2,
+		Gaussian: g1 * g2,
+		Samples:  n,
+	}, nil
+}
+
+// FitNearest is the scratch-reusing equivalent of the package-level
+// FitNearest: it fits using only the m samples nearest to origin.
+func (f *Fitter) FitNearest(origin geom.Vec2, samples []field.Sample, m int) (Estimate, error) {
+	if m < 3 {
+		m = 3
+	}
+	if len(samples) > m {
+		f.sorter.s = append(f.sorter.s[:0], samples...)
+		if cap(f.sorter.key) < len(samples) {
+			f.sorter.key = make([]float64, len(samples))
+		}
+		f.sorter.key = f.sorter.key[:len(samples)]
+		for i, s := range samples {
+			f.sorter.key[i] = s.Pos.Dist2(origin)
+		}
+		sortByKey(f.sorter.key, f.sorter.s)
+		samples = f.sorter.s[:m]
+	}
+	return f.Fit(origin, samples)
+}
+
+// sampleSorter holds samples alongside their precomputed squared distances
+// to the fit origin. The hot path sorts it with the specialized sortByKey
+// (see sortkeys.go); the sort.Interface methods below describe the same
+// ordering and exist as the oracle the tests compare the specialization
+// against. Either way each comparison observes the exact float64 values
+// the package-level FitNearest's on-the-fly Dist2 expression would
+// produce, so the pdqsort permutation — including the placement of
+// equal-distance lattice samples — matches bit for bit.
+type sampleSorter struct {
+	s   []field.Sample
+	key []float64
+}
+
+func (ss *sampleSorter) Len() int { return len(ss.s) }
+
+func (ss *sampleSorter) Less(i, j int) bool { return ss.key[i] < ss.key[j] }
+
+func (ss *sampleSorter) Swap(i, j int) {
+	ss.s[i], ss.s[j] = ss.s[j], ss.s[i]
+	ss.key[i], ss.key[j] = ss.key[j], ss.key[i]
+}

@@ -1,0 +1,196 @@
+package curvature
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+)
+
+// discSamples builds the integer-lattice sensing disc the simulator feeds
+// the fitter — the tie-heavy geometry (symmetric lattice distances) that
+// stresses the sort-permutation contract.
+func noisyDisc(rng *rand.Rand, center geom.Vec2, rs float64) []field.Sample {
+	var out []field.Sample
+	out = append(out, field.Sample{Pos: center, Z: rng.NormFloat64()})
+	for ix := int(center.X - rs - 1); ix <= int(center.X+rs+1); ix++ {
+		for iy := int(center.Y - rs - 1); iy <= int(center.Y+rs+1); iy++ {
+			p := geom.V2(float64(ix), float64(iy))
+			if p == center || p.Dist(center) > rs {
+				continue
+			}
+			out = append(out, field.Sample{Pos: p, Z: rng.NormFloat64()})
+		}
+	}
+	return out
+}
+
+func sameEstimate(t *testing.T, label string, got, want Estimate) {
+	t.Helper()
+	bits := func(v float64) uint64 { return math.Float64bits(v) }
+	if bits(got.A) != bits(want.A) || bits(got.B) != bits(want.B) || bits(got.C) != bits(want.C) ||
+		bits(got.G1) != bits(want.G1) || bits(got.G2) != bits(want.G2) ||
+		bits(got.Gaussian) != bits(want.Gaussian) || got.Samples != want.Samples {
+		t.Fatalf("%s: estimates diverged:\ngot  %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestFitterBitIdentical pins the fitter to the package-level functions:
+// across methods, degenerate inputs, and tie-heavy lattice discs, every
+// coefficient and curvature must match bit for bit — including FitNearest,
+// whose nearest-m selection must resolve distance ties to the identical
+// permutation.
+func TestFitterBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, method := range []Method{QR, Normal, Huber} {
+		f := NewFitter(method)
+		for trial := 0; trial < 40; trial++ {
+			center := geom.V2(rng.Float64()*100, rng.Float64()*100)
+			samples := noisyDisc(rng, center, 5)
+			got, gotErr := f.Fit(center, samples)
+			want, wantErr := Fit(center, samples, method)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("method %d Fit error mismatch: %v vs %v", method, gotErr, wantErr)
+			}
+			sameEstimate(t, "Fit", got, want)
+
+			// FitNearest at every origin of the inner disc — the findPeak
+			// candidate loop.
+			for _, s := range samples {
+				if s.Pos.Dist(center) > 3.5 {
+					continue
+				}
+				got, gotErr = f.FitNearest(s.Pos, samples, 12)
+				want, wantErr = FitNearest(s.Pos, samples, 12, method)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("method %d FitNearest error mismatch: %v vs %v", method, gotErr, wantErr)
+				}
+				sameEstimate(t, "FitNearest", got, want)
+			}
+		}
+
+		// Degenerate inputs: too few samples, collinear geometry.
+		two := []field.Sample{{Pos: geom.V2(0, 0), Z: 1}, {Pos: geom.V2(1, 1), Z: 2}}
+		if _, err := f.Fit(geom.V2(0, 0), two); err == nil {
+			t.Fatalf("method %d: expected ErrTooFewSamples", method)
+		}
+		collinear := []field.Sample{
+			{Pos: geom.V2(0, 0), Z: 1}, {Pos: geom.V2(1, 0), Z: 2},
+			{Pos: geom.V2(2, 0), Z: 3}, {Pos: geom.V2(3, 0), Z: 4},
+		}
+		got, gotErr := f.Fit(geom.V2(0, 0), collinear)
+		want, wantErr := Fit(geom.V2(0, 0), collinear, method)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("method %d collinear error mismatch: %v vs %v", method, gotErr, wantErr)
+		}
+		sameEstimate(t, "collinear", got, want)
+	}
+}
+
+// TestFitterAllocFree asserts the steady-state contract on the QR path:
+// once warmed up, Fit and FitNearest allocate nothing.
+func TestFitterAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := NewFitter(QR)
+	center := geom.V2(50, 50)
+	samples := noisyDisc(rng, center, 5)
+	if _, err := f.FitNearest(center, samples, 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fit(center, samples); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := f.FitNearest(center, samples, 12); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Fit(center, samples); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state fits allocate %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSortByKeyMatchesSortSort pins the specialized pdqsort port to the
+// standard library: over random and adversarial inputs — tie-heavy lattice
+// keys, sorted, reversed, constant, organ-pipe — sortByKey must produce the
+// exact element order sort.Sort produces on the same data, so swapping it
+// into FitNearest cannot move a single sample.
+func TestSortByKeyMatchesSortSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shapes := []func(n int) []float64{
+		func(n int) []float64 { // uniform random
+			k := make([]float64, n)
+			for i := range k {
+				k[i] = rng.Float64()
+			}
+			return k
+		},
+		func(n int) []float64 { // tie-heavy small ints (lattice Dist2-like)
+			k := make([]float64, n)
+			for i := range k {
+				k[i] = float64(rng.Intn(8))
+			}
+			return k
+		},
+		func(n int) []float64 { // already sorted
+			k := make([]float64, n)
+			for i := range k {
+				k[i] = float64(i)
+			}
+			return k
+		},
+		func(n int) []float64 { // reversed
+			k := make([]float64, n)
+			for i := range k {
+				k[i] = float64(n - i)
+			}
+			return k
+		},
+		func(n int) []float64 { // constant
+			k := make([]float64, n)
+			for i := range k {
+				k[i] = 3.25
+			}
+			return k
+		},
+		func(n int) []float64 { // organ pipe
+			k := make([]float64, n)
+			for i := range k {
+				k[i] = float64(min(i, n-i))
+			}
+			return k
+		},
+	}
+	for _, n := range []int{0, 1, 2, 5, 12, 13, 40, 81, 200, 1000} {
+		for si, shape := range shapes {
+			keys := shape(n)
+			// Tag each sample with its original index so permutations are
+			// observable even among equal keys.
+			base := make([]field.Sample, n)
+			for i := range base {
+				base[i] = field.Sample{Pos: geom.V2(float64(i), 0), Z: keys[i]}
+			}
+
+			wantKey := append([]float64(nil), keys...)
+			wantS := append([]field.Sample(nil), base...)
+			sort.Sort(&sampleSorter{s: wantS, key: wantKey})
+
+			gotKey := append([]float64(nil), keys...)
+			gotS := append([]field.Sample(nil), base...)
+			sortByKey(gotKey, gotS)
+
+			for i := range wantS {
+				if gotS[i] != wantS[i] || math.Float64bits(gotKey[i]) != math.Float64bits(wantKey[i]) {
+					t.Fatalf("n=%d shape=%d: permutation diverged at %d: got (%v, %v) want (%v, %v)",
+						n, si, i, gotS[i], gotKey[i], wantS[i], wantKey[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package curvature
+
+import (
+	"math/bits"
+
+	"repro/internal/field"
+)
+
+// sortByKey sorts s ascending by the parallel key slice, carrying the
+// samples along with their keys. It is a faithful port of the standard
+// library's pdqsort template (sort/zsortinterface.go, itself generated from
+// gen_sort_variants.go) specialized to this concrete pair: every branch,
+// pivot choice, threshold, and fallback matches the template line for line,
+// with data.Less(i, j) ≡ key[i] < key[j] and data.Swap(i, j) swapping both
+// slices. Since pdqsort's element movements are a pure function of n and
+// the sequence of Less outcomes, the resulting permutation — including the
+// placement of equal-key lattice samples — is bit-identical to
+// sort.Sort/sort.Slice over the same data, while the comparisons and swaps
+// inline instead of dispatching through sort.Interface. FitNearest sorts
+// the full sample disc once per peak candidate, which makes this the
+// hottest loop of the whole simulation on a single core; the
+// specialization exists purely for that, not for a different order.
+//
+// TestSortByKeyMatchesSortSort pins the permutation against sort.Sort.
+func sortByKey(key []float64, s []field.Sample) {
+	n := len(key)
+	if n <= 1 {
+		return
+	}
+	limit := bits.Len(uint(n))
+	pdqsortKeys(key, s, 0, n, limit)
+}
+
+// keySortHint mirrors sort.sortedHint.
+type keySortHint int
+
+const (
+	keyUnknownHint keySortHint = iota
+	keyIncreasingHint
+	keyDecreasingHint
+)
+
+// keyXorshift mirrors sort's xorshift PRNG used by breakPatterns.
+type keyXorshift uint64
+
+func (r *keyXorshift) Next() uint64 {
+	*r ^= *r << 13
+	*r ^= *r >> 7
+	*r ^= *r << 17
+	return uint64(*r)
+}
+
+func keyNextPowerOfTwo(length int) uint {
+	return 1 << uint(bits.Len(uint(length)))
+}
+
+// insertionSortKeys sorts key/s[a:b] using insertion sort. It holds the
+// element being inserted and shifts the run instead of swapping adjacent
+// pairs: in the template's swap formulation the inserted element always
+// occupies index j, so the comparison sequence (kv < key[j-1]) and the
+// final arrangement are identical — only the intermediate stores differ.
+func insertionSortKeys(key []float64, s []field.Sample, a, b int) {
+	for i := a + 1; i < b; i++ {
+		kv, sv := key[i], s[i]
+		j := i
+		for j > a && kv < key[j-1] {
+			key[j], s[j] = key[j-1], s[j-1]
+			j--
+		}
+		key[j], s[j] = kv, sv
+	}
+}
+
+// siftDownKeys implements the heap property on key/s[lo:hi].
+// first is an offset into the array where the root of the heap lies.
+func siftDownKeys(key []float64, s []field.Sample, lo, hi, first int) {
+	root := lo
+	for {
+		child := 2*root + 1
+		if child >= hi {
+			break
+		}
+		if child+1 < hi && key[first+child] < key[first+child+1] {
+			child++
+		}
+		if !(key[first+root] < key[first+child]) {
+			return
+		}
+		key[first+root], key[first+child] = key[first+child], key[first+root]
+		s[first+root], s[first+child] = s[first+child], s[first+root]
+		root = child
+	}
+}
+
+func heapSortKeys(key []float64, s []field.Sample, a, b int) {
+	first := a
+	lo := 0
+	hi := b - a
+
+	// Build heap with greatest element at top.
+	for i := (hi - 1) / 2; i >= 0; i-- {
+		siftDownKeys(key, s, i, hi, first)
+	}
+
+	// Pop elements, largest first, into end of data.
+	for i := hi - 1; i >= 0; i-- {
+		key[first], key[first+i] = key[first+i], key[first]
+		s[first], s[first+i] = s[first+i], s[first]
+		siftDownKeys(key, s, lo, i, first)
+	}
+}
+
+// pdqsortKeys sorts key/s[a:b], mirroring sort.pdqsort.
+// limit is the number of allowed bad (very unbalanced) pivots before
+// falling back to heapsort.
+func pdqsortKeys(key []float64, s []field.Sample, a, b, limit int) {
+	const maxInsertion = 12
+
+	var (
+		wasBalanced    = true // whether the last partitioning was reasonably balanced
+		wasPartitioned = true // whether the slice was already partitioned
+	)
+
+	for {
+		length := b - a
+
+		if length <= maxInsertion {
+			insertionSortKeys(key, s, a, b)
+			return
+		}
+
+		// Fall back to heapsort if too many bad choices were made.
+		if limit == 0 {
+			heapSortKeys(key, s, a, b)
+			return
+		}
+
+		// If the last partitioning was imbalanced, we need to breaking patterns.
+		if !wasBalanced {
+			breakPatternsKeys(key, s, a, b)
+			limit--
+		}
+
+		pivot, hint := choosePivotKeys(key, a, b)
+		if hint == keyDecreasingHint {
+			reverseRangeKeys(key, s, a, b)
+			// The chosen pivot was pivot-a elements after the start of the array.
+			// After reversing it is pivot-a elements before the end of the array.
+			pivot = (b - 1) - (pivot - a)
+			hint = keyIncreasingHint
+		}
+
+		// The slice is likely already sorted.
+		if wasBalanced && wasPartitioned && hint == keyIncreasingHint {
+			if partialInsertionSortKeys(key, s, a, b) {
+				return
+			}
+		}
+
+		// Probably the slice contains many duplicate elements, partition the slice into
+		// elements equal to and elements greater than the pivot.
+		if a > 0 && !(key[a-1] < key[pivot]) {
+			mid := partitionEqualKeys(key, s, a, b, pivot)
+			a = mid
+			continue
+		}
+
+		mid, alreadyPartitioned := partitionKeys(key, s, a, b, pivot)
+		wasPartitioned = alreadyPartitioned
+
+		leftLen, rightLen := mid-a, b-mid
+		balanceThreshold := length / 8
+		if leftLen < rightLen {
+			wasBalanced = leftLen >= balanceThreshold
+			pdqsortKeys(key, s, a, mid, limit)
+			a = mid + 1
+		} else {
+			wasBalanced = rightLen >= balanceThreshold
+			pdqsortKeys(key, s, mid+1, b, limit)
+			b = mid
+		}
+	}
+}
+
+// partitionKeys does one quicksort partition, mirroring sort.partition.
+// The pivot value is hoisted into pv: key[a] holds it and is untouched by
+// the scan loops (which only move indices in [a+1, b-1]), so every
+// comparison observes the same value the template's key[a] load would.
+func partitionKeys(key []float64, s []field.Sample, a, b, pivot int) (newpivot int, alreadyPartitioned bool) {
+	key[a], key[pivot] = key[pivot], key[a]
+	s[a], s[pivot] = s[pivot], s[a]
+	pv := key[a]
+	i, j := a+1, b-1 // i and j are inclusive of the elements remaining to be partitioned
+
+	for i <= j && key[i] < pv {
+		i++
+	}
+	for i <= j && !(key[j] < pv) {
+		j--
+	}
+	if i > j {
+		key[j], key[a] = key[a], key[j]
+		s[j], s[a] = s[a], s[j]
+		return j, true
+	}
+	key[i], key[j] = key[j], key[i]
+	s[i], s[j] = s[j], s[i]
+	i++
+	j--
+
+	for {
+		for i <= j && key[i] < pv {
+			i++
+		}
+		for i <= j && !(key[j] < pv) {
+			j--
+		}
+		if i > j {
+			break
+		}
+		key[i], key[j] = key[j], key[i]
+		s[i], s[j] = s[j], s[i]
+		i++
+		j--
+	}
+	key[j], key[a] = key[a], key[j]
+	s[j], s[a] = s[a], s[j]
+	return j, false
+}
+
+// partitionEqualKeys partitions key/s[a:b] into elements equal to key[pivot]
+// followed by elements greater than key[pivot]. It assumes key/s[a:b] does
+// not contain elements smaller than key[pivot].
+func partitionEqualKeys(key []float64, s []field.Sample, a, b, pivot int) (newpivot int) {
+	key[a], key[pivot] = key[pivot], key[a]
+	s[a], s[pivot] = s[pivot], s[a]
+	pv := key[a]     // untouched by the scan loops, as in partitionKeys
+	i, j := a+1, b-1 // i and j are inclusive of the elements remaining to be partitioned
+
+	for {
+		for i <= j && !(pv < key[i]) {
+			i++
+		}
+		for i <= j && pv < key[j] {
+			j--
+		}
+		if i > j {
+			break
+		}
+		key[i], key[j] = key[j], key[i]
+		s[i], s[j] = s[j], s[i]
+		i++
+		j--
+	}
+	return i
+}
+
+// partialInsertionSortKeys partially sorts a slice, returns true if the
+// slice is sorted at the end.
+func partialInsertionSortKeys(key []float64, s []field.Sample, a, b int) bool {
+	const (
+		maxSteps         = 5  // maximum number of adjacent out-of-order pairs that will get shifted
+		shortestShifting = 50 // don't shift any elements on short arrays
+	)
+	i := a + 1
+	for j := 0; j < maxSteps; j++ {
+		for i < b && !(key[i] < key[i-1]) {
+			i++
+		}
+
+		if i == b {
+			return true
+		}
+
+		if b-a < shortestShifting {
+			return false
+		}
+
+		key[i], key[i-1] = key[i-1], key[i]
+		s[i], s[i-1] = s[i-1], s[i]
+
+		// Shift the smaller one to the left.
+		if i-a >= 2 {
+			for j := i - 1; j >= 1; j-- {
+				if !(key[j] < key[j-1]) {
+					break
+				}
+				key[j], key[j-1] = key[j-1], key[j]
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		// Shift the greater one to the right.
+		if b-i >= 2 {
+			for j := i + 1; j < b; j++ {
+				if !(key[j] < key[j-1]) {
+					break
+				}
+				key[j], key[j-1] = key[j-1], key[j]
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+	}
+	return false
+}
+
+// breakPatternsKeys scatters some elements around in an attempt to break
+// some patterns that might cause imbalanced partitions in quicksort.
+func breakPatternsKeys(key []float64, s []field.Sample, a, b int) {
+	length := b - a
+	if length >= 8 {
+		random := keyXorshift(length)
+		modulus := keyNextPowerOfTwo(length)
+
+		for idx := a + (length/4)*2 - 1; idx <= a+(length/4)*2+1; idx++ {
+			other := int(uint(random.Next()) & (modulus - 1))
+			if other >= length {
+				other -= length
+			}
+			key[idx], key[a+other] = key[a+other], key[idx]
+			s[idx], s[a+other] = s[a+other], s[idx]
+		}
+	}
+}
+
+// choosePivotKeys chooses a pivot in key[a:b], mirroring sort.choosePivot.
+//
+// [0,8): chooses a static pivot.
+// [8,shortestNinther): uses the simple median-of-three method.
+// [shortestNinther,∞): uses the Tukey ninther method.
+func choosePivotKeys(key []float64, a, b int) (pivot int, hint keySortHint) {
+	const (
+		shortestNinther = 50
+		maxSwaps        = 4 * 3
+	)
+
+	l := b - a
+
+	var (
+		swaps int
+		i     = a + l/4*1
+		j     = a + l/4*2
+		k     = a + l/4*3
+	)
+
+	if l >= 8 {
+		if l >= shortestNinther {
+			// Tukey ninther method.
+			i = medianAdjacentKeys(key, i, &swaps)
+			j = medianAdjacentKeys(key, j, &swaps)
+			k = medianAdjacentKeys(key, k, &swaps)
+		}
+		// Find the median among i, j, k and stores it into j.
+		j = medianKeys(key, i, j, k, &swaps)
+	}
+
+	switch swaps {
+	case 0:
+		return j, keyIncreasingHint
+	case maxSwaps:
+		return j, keyDecreasingHint
+	default:
+		return j, keyUnknownHint
+	}
+}
+
+// order2Keys returns x,y where key[x] <= key[y], where x,y=a,b or x,y=b,a.
+func order2Keys(key []float64, a, b int, swaps *int) (int, int) {
+	if key[b] < key[a] {
+		*swaps++
+		return b, a
+	}
+	return a, b
+}
+
+// medianKeys returns x where key[x] is the median of key[a],key[b],key[c],
+// where x is a, b, or c.
+func medianKeys(key []float64, a, b, c int, swaps *int) int {
+	a, b = order2Keys(key, a, b, swaps)
+	b, c = order2Keys(key, b, c, swaps)
+	a, b = order2Keys(key, a, b, swaps)
+	return b
+}
+
+// medianAdjacentKeys finds the median of key[a-1], key[a], key[a+1] and
+// stores the index into a.
+func medianAdjacentKeys(key []float64, a int, swaps *int) int {
+	return medianKeys(key, a-1, a, a+1, swaps)
+}
+
+func reverseRangeKeys(key []float64, s []field.Sample, a, b int) {
+	i := a
+	j := b - 1
+	for i < j {
+		key[i], key[j] = key[j], key[i]
+		s[i], s[j] = s[j], s[i]
+		i++
+		j--
+	}
+}

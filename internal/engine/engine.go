@@ -53,6 +53,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/curvature"
 	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/geom"
@@ -105,6 +106,16 @@ type Options struct {
 	// the hook sim uses for movement-trace sampling. Both slices are
 	// read-only borrows.
 	BeforeMove func(old, next []geom.Vec2)
+	// NeighborReuseTol is the displacement tolerance (meters) of the
+	// neighbor-list cache: a node's cached unit-disk neighbor list is
+	// reused across slots until the node itself — or any node whose move
+	// touches the grid cells the list's query scanned — has moved more
+	// than the tolerance since the cache last saw it. Zero (the default)
+	// recomputes on any position change at all, which is exact: cached
+	// results are bit-identical to fresh queries. Positive tolerances
+	// trade exactness for fewer recomputations in slowly-moving swarms
+	// and should stay well below the cell size Rc.
+	NeighborReuseTol float64
 	// Stages overrides the step pipeline; nil means DefaultStages().
 	Stages []Stage
 	// Metrics, when non-nil, receives per-stage and per-slot wall-time
@@ -125,23 +136,72 @@ type Engine struct {
 	t       float64
 	slot    int
 	energy  []float64 // cumulative movement energy per node
-	// heard is each node's last-received neighbor report, used to replay
-	// stale entries when a delivery is lost or a neighbor dies. Only
-	// populated while the fault injector is active.
-	heard  []map[int]heardReport
-	stages []Stage
+	// heard is each node's last-received neighbor reports ascending by
+	// neighbor ID, used to replay stale entries when a delivery is lost or
+	// a neighbor dies. Only populated while the fault injector is active.
+	// heardMerge and staleBuf are shared merge scratch — safe because the
+	// faulty exchange path is serial.
+	heard      [][]heardEntry
+	heardMerge []heardEntry
+	staleBuf   []mobile.NeighborInfo
+	stages     []Stage
 
-	// idx is the shared neighbor-discovery index over pos, rebuilt lazily
-	// whenever epoch has advanced past idxEpoch. epoch bumps at every
+	// arena is the persistent backing for the per-slot Slot scratch, reset
+	// with capacity-preserving truncation each Step so the steady state
+	// allocates nothing. spare is the free position buffer of the
+	// double-buffered commit: Move publishes s.Next and recycles the
+	// previous position array as the next slot's tentative buffer.
+	arena slotArena
+	spare []geom.Vec2
+	// fitters is the per-worker curvature fit scratch shared by the Fit
+	// and Plan stages; entry w is touched only by forNodes worker w, and
+	// scratch location cannot affect any fit bit.
+	fitters []*curvature.Fitter
+	// lcm is the Resolve stage's reusable constraint-projection scratch.
+	lcm mobile.LCMScratch
+
+	// idx is the shared neighbor-discovery index over pos, maintained
+	// lazily whenever epoch has advanced past idxEpoch: moved nodes are
+	// relocated between grid cells in place, with a full rebuild when too
+	// many have escaped the frozen grid bounds. epoch bumps at every
 	// position commit.
 	idx      *spatial.Index
 	idxEpoch int
 	epoch    int
 
+	// Neighbor-list cache: nbrLists[i] is node i's unit-disk neighbor list
+	// as of the position nbrRef[i], valid while neither i nor any node
+	// whose move dirtied a cell of i's stored query rectangle nbrRange[i]
+	// has moved beyond Options.NeighborReuseTol. moveRef[i] is i's
+	// position when it last dirtied cells; cellStamp holds, per grid cell,
+	// (epoch+1) of the latest dirtying move, compared against nbrStamp —
+	// the stamp consumed by the last cache maintenance. allInvalid forces
+	// a wholesale recompute after a full index rebuild.
+	nbrLists   [][]int
+	nbrRef     []geom.Vec2
+	nbrRange   [][4]int
+	nbrValid   []bool
+	moveRef    []geom.Vec2
+	cellStamp  []int64
+	nbrStamp   int64
+	allInvalid bool
+
 	// met is the engine's observability surface; nil means off, and every
 	// instrumentation site is guarded so the disabled path never reads the
 	// clock.
 	met *engineMetrics
+}
+
+// slotArena is the persistent backing of the Slot scratch, indexed by
+// node. Per-node sub-buffers (samples, infos) keep their grown capacity
+// across slots.
+type slotArena struct {
+	samples   [][]field.Sample
+	curv      []float64
+	infos     [][]mobile.NeighborInfo
+	decisions []mobile.Decision
+	forceLen  []float64
+	aliveMask []bool
 }
 
 // engineMetrics holds the engine's pre-resolved metric handles, looked up
@@ -157,6 +217,11 @@ type engineMetrics struct {
 	force    *obs.Gauge       // engine_mean_force
 	disp     *obs.Gauge       // engine_mean_displacement
 	energy   *obs.Gauge       // engine_energy_total (cumulative meters)
+
+	idxRebuilds *obs.Counter // engine_index_rebuilds_total: full index builds
+	idxIncr     *obs.Counter // engine_index_incremental_total: in-place refreshes
+	nbrReused   *obs.Counter // engine_neighbor_lists_reused_total
+	nbrRecomp   *obs.Counter // engine_neighbor_lists_recomputed_total
 }
 
 func newEngineMetrics(reg *obs.Registry, stages []Stage) *engineMetrics {
@@ -170,6 +235,11 @@ func newEngineMetrics(reg *obs.Registry, stages []Stage) *engineMetrics {
 		force:    reg.Gauge("engine_mean_force"),
 		disp:     reg.Gauge("engine_mean_displacement"),
 		energy:   reg.Gauge("engine_energy_total"),
+
+		idxRebuilds: reg.Counter("engine_index_rebuilds_total"),
+		idxIncr:     reg.Counter("engine_index_incremental_total"),
+		nbrReused:   reg.Counter("engine_neighbor_lists_reused_total"),
+		nbrRecomp:   reg.Counter("engine_neighbor_lists_recomputed_total"),
 	}
 	m.stages = make([]*obs.Histogram, len(stages))
 	for i, st := range stages {
@@ -189,11 +259,80 @@ func (m *engineMetrics) record(s *Slot) {
 	m.energy.Add(s.Stats.EnergySpent)
 }
 
-// heardReport caches one received (position, G) announcement.
-type heardReport struct {
+// heardEntry caches one received (position, G) announcement. A node's
+// cache is kept ascending by neighbor ID so the per-slot refresh is a
+// linear merge with the (ascending) fresh deliveries instead of map
+// traffic.
+type heardEntry struct {
+	id   int32
 	pos  geom.Vec2
 	g    float64
 	slot int
+}
+
+// mergeHeard folds this slot's fresh deliveries to node i (s.Infos[i],
+// ascending by ID, Age 0) into the node's heard cache and interleaves the
+// replayed stale reports — cached entries whose neighbor went silent this
+// slot and is not yet presumed dead — back into s.Infos[i], preserving
+// ascending ID order throughout. One linear merge replaces the former
+// per-slot map build + sort: fresh reports win on equal IDs, silent
+// entries older than the injector's staleness window are dropped, and the
+// resulting Infos content is identical to the map-based path (IDs are
+// unique, so the sorted order is fully determined). Runs only on the
+// faulty exchange path, which is serial, so the engine-level merge
+// scratch is safe to share across nodes.
+func (e *Engine) mergeHeard(s *Slot, i int) {
+	staleSlots := e.opts.Faults.StaleSlots()
+	fresh := s.Infos[i]
+	old := e.heard[i]
+	merged := e.heardMerge[:0]
+	stale := e.staleBuf[:0]
+	fi, oi := 0, 0
+	for fi < len(fresh) || oi < len(old) {
+		switch {
+		case oi >= len(old) || (fi < len(fresh) && fresh[fi].ID < int(old[oi].id)):
+			nb := fresh[fi]
+			merged = append(merged, heardEntry{id: int32(nb.ID), pos: nb.Pos, g: nb.G, slot: s.Epoch})
+			fi++
+		case fi >= len(fresh) || int(old[oi].id) < fresh[fi].ID:
+			rec := old[oi]
+			oi++
+			age := s.Epoch - rec.slot
+			if age > staleSlots {
+				continue // presumed dead: drop from the cache
+			}
+			merged = append(merged, rec)
+			stale = append(stale, mobile.NeighborInfo{
+				ID: int(rec.id), Pos: rec.pos, G: rec.g, Age: age,
+			})
+		default: // heard again this slot: the fresh report wins
+			nb := fresh[fi]
+			merged = append(merged, heardEntry{id: int32(nb.ID), pos: nb.Pos, g: nb.G, slot: s.Epoch})
+			fi++
+			oi++
+		}
+	}
+	e.heard[i] = append(e.heard[i][:0], merged...)
+	if len(stale) > 0 {
+		// Backward-merge the (ascending) stale replays into the
+		// (ascending) fresh list: grow Infos, then fill from the tail.
+		f := len(fresh)
+		s.Infos[i] = append(s.Infos[i], stale...)
+		out := s.Infos[i]
+		k, a, b := len(out)-1, f-1, len(stale)-1
+		for b >= 0 {
+			if a >= 0 && out[a].ID > stale[b].ID {
+				out[k] = out[a]
+				a--
+			} else {
+				out[k] = stale[b]
+				b--
+			}
+			k--
+		}
+	}
+	e.heardMerge = merged[:0]
+	e.staleBuf = stale[:0]
 }
 
 // New creates an engine with nodes at the given initial positions
@@ -248,8 +387,11 @@ func (e *Engine) Time() float64 { return e.t }
 // SlotIndex returns the number of completed slots.
 func (e *Engine) SlotIndex() int { return e.slot }
 
-// Pos returns the live position slice as a read-only borrow; it is
-// replaced wholesale at each commit, never mutated in place.
+// Pos returns the live position slice as a read-only borrow. It is
+// replaced wholesale at each commit, and the displaced array is recycled
+// as the tentative buffer of the slot after next — so the borrow is only
+// stable until the next Step. Callers that hold positions across steps
+// must use Positions.
 func (e *Engine) Pos() []geom.Vec2 { return e.pos }
 
 // Positions returns a copy of the current node positions.
@@ -274,7 +416,10 @@ func (e *Engine) TotalEnergy() float64 {
 func (e *Engine) Injector() *fault.Injector { return e.opts.Faults }
 
 // Slot is the shared scratch state of one step, produced and consumed by
-// the stages in pipeline order. All slices are indexed by node.
+// the stages in pipeline order. All slices are indexed by node. Every
+// slice is a borrow of the engine's persistent arena, valid only until
+// Step returns: the next Step reuses the same backing arrays, so stages
+// (and hooks they call) must not retain them.
 type Slot struct {
 	// Epoch is the slot index being simulated.
 	Epoch int
@@ -319,10 +464,7 @@ func (e *Engine) Step() (StepStats, error) {
 	if s.Faulty {
 		inj.BeginSlot(e.slot)
 		if e.heard == nil {
-			e.heard = make([]map[int]heardReport, e.N())
-			for i := range e.heard {
-				e.heard[i] = make(map[int]heardReport)
-			}
+			e.heard = make([][]heardEntry, e.N())
 		}
 	}
 	// Snapshot the alive view once: injector aliveness only changes at
@@ -331,17 +473,39 @@ func (e *Engine) Step() (StepStats, error) {
 	s.Alive = view.Alive{Pos: e.pos, Epoch: e.slot}
 	s.AliveCount = e.N()
 	if s.Faulty {
-		s.Alive.Mask = inj.AliveMask(nil)
+		e.arena.aliveMask = inj.AliveMask(e.arena.aliveMask)
+		s.Alive.Mask = e.arena.aliveMask
 		s.AliveCount = inj.AliveCount()
 	}
 	s.Stats.Alive = s.AliveCount
 	n := e.N()
-	s.Samples = make([][]field.Sample, n)
-	s.Curv = make([]float64, n)
-	s.Infos = make([][]mobile.NeighborInfo, n)
-	s.Decisions = make([]mobile.Decision, n)
-	s.ForceLen = make([]float64, n)
-	s.Next = append([]geom.Vec2(nil), e.pos...)
+	// Per-slot scratch lives in the engine's arena: slices are truncated —
+	// or zeroed where stale values could leak into statistics — but keep
+	// their capacity, so the steady-state step allocates nothing.
+	a := &e.arena
+	if len(a.curv) != n {
+		a.samples = make([][]field.Sample, n)
+		a.curv = make([]float64, n)
+		a.infos = make([][]mobile.NeighborInfo, n)
+		a.decisions = make([]mobile.Decision, n)
+		a.forceLen = make([]float64, n)
+	}
+	for i := range a.samples {
+		a.samples[i] = a.samples[i][:0]
+		a.infos[i] = a.infos[i][:0]
+	}
+	clear(a.curv)
+	clear(a.decisions)
+	clear(a.forceLen)
+	s.Samples = a.samples
+	s.Curv = a.curv
+	s.Infos = a.infos
+	s.Decisions = a.decisions
+	s.ForceLen = a.forceLen
+	if cap(e.spare) < n {
+		e.spare = make([]geom.Vec2, 0, n)
+	}
+	s.Next = append(e.spare[:0], e.pos...)
 	if e.met == nil {
 		for _, st := range e.stages {
 			if err := st.Run(e, s); err != nil {
@@ -369,16 +533,20 @@ func (e *Engine) Step() (StepStats, error) {
 // count — so results are identical at any GOMAXPROCS.
 const nodeBand = 64
 
-// forNodes runs fn(i) for every node index. With parallel false — or a
-// swarm of at most one band — it is a plain ascending loop. Otherwise
+// forNodes runs fn(w, i) for every node index i, where w identifies the
+// executing worker (always 0 on the serial path). With parallel false — or
+// a swarm of at most one band — it is a plain ascending loop. Otherwise
 // workers pull fixed index bands from an atomic counter; fn must then only
-// write state owned by node i. The returned error is the first error in
-// ascending node order (a band stops at its first error).
-func (e *Engine) forNodes(parallel bool, fn func(i int) error) error {
+// write state owned by node i or by worker w (the per-worker fit scratch —
+// scratch placement cannot affect any result bit). The returned error is
+// the first error in ascending node order (a band stops at its first
+// error).
+func (e *Engine) forNodes(parallel bool, fn func(w, i int) error) error {
 	n := e.N()
 	if !parallel || n <= nodeBand {
+		e.ensureFitters(1)
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -389,12 +557,13 @@ func (e *Engine) forNodes(parallel bool, fn func(i int) error) error {
 	if workers > bands {
 		workers = bands
 	}
+	e.ensureFitters(workers)
 	errs := make([]error, bands)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				b := int(next.Add(1)) - 1
@@ -406,13 +575,13 @@ func (e *Engine) forNodes(parallel bool, fn func(i int) error) error {
 					hi = n
 				}
 				for i := b * nodeBand; i < hi; i++ {
-					if err := fn(i); err != nil {
+					if err := fn(w, i); err != nil {
 						errs[b] = err
 						break
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -423,26 +592,176 @@ func (e *Engine) forNodes(parallel bool, fn func(i int) error) error {
 	return nil
 }
 
+// ensureFitters grows the per-worker fit-scratch pool to at least k
+// entries, all built with the configuration's fit method.
+func (e *Engine) ensureFitters(k int) {
+	for len(e.fitters) < k {
+		e.fitters = append(e.fitters, curvature.NewFitter(e.opts.Config.FitMethod()))
+	}
+}
+
 // scanThreshold is the node count above which graph.NewUnitDisk switches
 // from the sqrt distance predicate to the squared one; neighbor discovery
 // here must replicate that boundary choice bit for bit.
 const scanThreshold = 256
 
-// refreshIndex rebuilds the shared neighbor index when positions have
-// moved since it was built. A failed build (only possible with a
-// non-positive Rc, which New rejects) leaves idx nil and neighborsOf falls
-// back to direct scans.
+// escapedRebuildDiv sets the incremental index's full-rebuild trigger: a
+// rebuild re-anchors the frozen grid once more than 1/escapedRebuildDiv of
+// the points have drifted outside it (clamped queries stay exact but
+// border buckets degenerate toward linear scans).
+const escapedRebuildDiv = 8
+
+// refreshIndex brings the shared neighbor index up to date with the
+// current positions. After the first full build the refresh is
+// incremental — only nodes whose position changed are relocated between
+// grid cells, and their moves dirty the cells consulted by the
+// neighbor-list cache — falling back to a full rebuild when too many
+// points have escaped the frozen grid bounds. A failed build (only
+// possible with a non-positive Rc, which New rejects) leaves idx nil and
+// neighborsOf falls back to direct scans.
 func (e *Engine) refreshIndex() {
 	if e.idxEpoch == e.epoch {
 		return
 	}
 	e.idxEpoch = e.epoch
+	if e.idx != nil && e.idx.N() == len(e.pos) {
+		for i, p := range e.pos {
+			if e.idx.Point(i) == p {
+				continue
+			}
+			e.idx.Update(i, p)
+			if e.beyondTol(e.moveRef[i], p) {
+				e.stampCell(e.moveRef[i])
+				e.stampCell(p)
+				e.moveRef[i] = p
+			}
+		}
+		if e.idx.Escaped()*escapedRebuildDiv <= len(e.pos) {
+			if e.met != nil {
+				e.met.idxIncr.Inc()
+			}
+			return
+		}
+	}
 	idx, err := spatial.NewIndex(e.pos, e.opts.Config.Rc)
 	if err != nil {
 		e.idx = nil
 		return
 	}
 	e.idx = idx
+	cols, rows := idx.Dims()
+	if cap(e.cellStamp) < cols*rows {
+		e.cellStamp = make([]int64, cols*rows)
+	} else {
+		e.cellStamp = e.cellStamp[:cols*rows]
+		clear(e.cellStamp)
+	}
+	e.moveRef = append(e.moveRef[:0], e.pos...)
+	e.allInvalid = true
+	if e.met != nil {
+		e.met.idxRebuilds.Inc()
+	}
+}
+
+// beyondTol reports whether a move from from to to exceeds the neighbor
+// cache's displacement tolerance. At the default zero tolerance any
+// change at all counts, keeping cached lists exact.
+func (e *Engine) beyondTol(from, to geom.Vec2) bool {
+	if from == to {
+		return false
+	}
+	tol := e.opts.NeighborReuseTol
+	return tol <= 0 || from.Dist2(to) > tol*tol
+}
+
+// stampCell marks the grid cell holding p as dirtied at the current
+// epoch; neighbor lists whose query rectangle covers it recompute at the
+// next cache maintenance.
+func (e *Engine) stampCell(p geom.Vec2) {
+	ci, cj := e.idx.Cell(p)
+	cols, _ := e.idx.Dims()
+	e.cellStamp[cj*cols+ci] = int64(e.epoch) + 1
+}
+
+// rangeDirty reports whether any cell of the stored query rectangle was
+// dirtied since the last cache maintenance.
+func (e *Engine) rangeDirty(r [4]int) bool {
+	cols, _ := e.idx.Dims()
+	for cj := r[2]; cj <= r[3]; cj++ {
+		row := e.cellStamp[cj*cols : cj*cols+cols]
+		for ci := r[0]; ci <= r[1]; ci++ {
+			if row[ci] > e.nbrStamp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// refreshNeighbors brings the per-node neighbor-list cache up to date:
+// after the index refresh it keeps every cached list whose owner has not
+// moved beyond the reuse tolerance and whose stored query rectangle saw no
+// dirtying move, and recomputes the rest in parallel bands. At zero
+// tolerance the kept lists are bit-identical to fresh queries: a list
+// survives only if neither its owner nor any point inside the cells its
+// query scanned has moved at all. Lists are purely geometric — the alive
+// mask does not affect them — and cover every node, dead or alive.
+func (e *Engine) refreshNeighbors() error {
+	e.refreshIndex()
+	n := e.N()
+	if len(e.nbrValid) != n {
+		e.nbrLists = make([][]int, n)
+		e.nbrRef = make([]geom.Vec2, n)
+		e.nbrRange = make([][4]int, n)
+		e.nbrValid = make([]bool, n)
+		e.allInvalid = true
+	}
+	if e.idx == nil {
+		// Degenerate fallback (no index): recompute everything by scan.
+		e.allInvalid = true
+	}
+	reused := 0
+	if e.allInvalid {
+		for i := range e.nbrValid {
+			e.nbrValid[i] = false
+		}
+		e.allInvalid = false
+	} else {
+		for i := 0; i < n; i++ {
+			valid := e.nbrValid[i] &&
+				!e.beyondTol(e.nbrRef[i], e.pos[i]) &&
+				!e.rangeDirty(e.nbrRange[i])
+			e.nbrValid[i] = valid
+			if valid {
+				reused++
+			}
+		}
+	}
+	e.nbrStamp = int64(e.epoch) + 1
+	if e.met != nil {
+		e.met.nbrReused.Add(int64(reused))
+		e.met.nbrRecomp.Add(int64(n - reused))
+	}
+	if reused == n {
+		return nil
+	}
+	queryR := e.opts.Config.Rc
+	if len(e.pos) <= scanThreshold {
+		queryR *= sqrtInflate
+	}
+	return e.forNodes(true, func(w, i int) error {
+		if e.nbrValid[i] {
+			return nil
+		}
+		e.nbrLists[i] = e.neighborsOf(i, e.nbrLists[i][:0])
+		e.nbrRef[i] = e.pos[i]
+		if e.idx != nil {
+			loI, hiI, loJ, hiJ := e.idx.QueryRange(e.pos[i], queryR)
+			e.nbrRange[i] = [4]int{loI, hiI, loJ, hiJ}
+		}
+		e.nbrValid[i] = true
+		return nil
+	})
 }
 
 // sqrtInflate pads an index query radius just enough that every pair the

@@ -240,7 +240,11 @@ func BenchmarkNeighborDiscoveryIndex(b *testing.B) {
 	b.ResetTimer()
 	var buf []int
 	for i := 0; i < b.N; i++ {
-		e.idxEpoch = e.epoch - 1 // force the per-step rebuild the old path paid
+		// Force the full rebuild the old path paid every step; with the
+		// incremental index a stale idxEpoch alone would be a no-op walk
+		// over unmoved points.
+		e.idx = nil
+		e.idxEpoch = e.epoch - 1
 		e.refreshIndex()
 		total := 0
 		for v := 0; v < n; v++ {

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestNeighborReuseTolZeroBitIdentical pins the neighbor-list cache's
+// exactness contract at the default zero tolerance: a run that reuses
+// cached lists whenever validity allows must be bit-identical — stats and
+// every position coordinate — to a run forced to recompute every list
+// every slot, on both the clean and the fault-injected path.
+func TestNeighborReuseTolZeroBitIdentical(t *testing.T) {
+	const k, slots = 150, 8
+	scenarios := []struct {
+		name string
+		opts func() Options
+	}{
+		{"clean", func() Options { return Options{} }},
+		{"profile", func() Options { return profiledOpts(k, slots) }},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			cached := newTestEngine(t, k, sc.opts())
+			cachedStats, cachedBits := runRecorded(t, cached, slots)
+
+			fresh := newTestEngine(t, k, sc.opts())
+			var freshStats []StepStats
+			var freshBits []uint64
+			for s := 0; s < slots; s++ {
+				fresh.allInvalid = true // discard every cached list
+				st, err := fresh.Step()
+				if err != nil {
+					t.Fatalf("slot %d: %v", s, err)
+				}
+				freshStats = append(freshStats, st)
+				for _, p := range fresh.Pos() {
+					freshBits = append(freshBits, math.Float64bits(p.X), math.Float64bits(p.Y))
+				}
+			}
+			compareRuns(t, sc.name, cachedStats, freshStats, cachedBits, freshBits)
+		})
+	}
+}
+
+// TestNeighborReuseTolPositive checks the relaxed mode actually relaxes:
+// with a tolerance so large no displacement ever dirties a cell, every
+// list survives maintenance after the first build, the reuse counter
+// rises, and the index stays on its incremental path.
+func TestNeighborReuseTolPositive(t *testing.T) {
+	const k, slots = 150, 6
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, k, Options{Metrics: reg, NeighborReuseTol: 1e9})
+	for s := 0; s < slots; s++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+	}
+	snap := reg.Snapshot()
+	// Full rebuilds (escaped-point threshold) re-invalidate everything, so
+	// demand only what relaxation guarantees: whole slots' worth of reuse
+	// and a live incremental path — neither of which tol=0 yields here.
+	if got := snap.Counters["engine_neighbor_lists_reused_total"]; got < int64(k) {
+		t.Errorf("engine_neighbor_lists_reused_total = %d, want ≥ %d", got, k)
+	}
+	if got := snap.Counters["engine_index_incremental_total"]; got < 1 {
+		t.Errorf("engine_index_incremental_total = %d, want ≥ 1", got)
+	}
+	if got := snap.Counters["engine_index_rebuilds_total"]; got < 1 {
+		t.Errorf("engine_index_rebuilds_total = %d, want the initial build", got)
+	}
+
+	// And at zero tolerance the same moving swarm recomputes what it must:
+	// the recompute counter keeps rising past the first slot.
+	reg0 := obs.NewRegistry()
+	e0 := newTestEngine(t, k, Options{Metrics: reg0})
+	for s := 0; s < slots; s++ {
+		if _, err := e0.Step(); err != nil {
+			t.Fatalf("tol=0 slot %d: %v", s, err)
+		}
+	}
+	snap0 := reg0.Snapshot()
+	recomp := snap0.Counters["engine_neighbor_lists_recomputed_total"]
+	if recomp < int64(k) {
+		t.Errorf("tol=0 engine_neighbor_lists_recomputed_total = %d, want ≥ %d", recomp, k)
+	}
+}

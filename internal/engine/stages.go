@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/mobile"
 )
@@ -48,11 +47,13 @@ func (SenseStage) Name() string { return "sense" }
 // Run implements Stage.
 func (SenseStage) Run(e *Engine, s *Slot) error {
 	inj := e.opts.Faults
-	return e.forNodes(e.opts.NoiseStd == 0, func(i int) error {
+	return e.forNodes(e.opts.NoiseStd == 0, func(w, i int) error {
 		if !s.Alive.Up(i) {
 			return nil
 		}
-		s.Samples[i] = e.sampler.DiscTime(e.dyn, e.pos[i], e.opts.Config.Rs, e.t)
+		// Samples[i] arrives truncated to length zero with its previous
+		// capacity, so steady-state sensing reuses the slot arena.
+		s.Samples[i] = e.sampler.DiscTimeInto(s.Samples[i], e.dyn, e.pos[i], e.opts.Config.Rs, e.t)
 		if s.Faulty {
 			s.Samples[i] = inj.CorruptSamples(i, s.Samples[i])
 		}
@@ -62,8 +63,12 @@ func (SenseStage) Run(e *Engine, s *Slot) error {
 
 // FitStage computes each alive node's own curvature estimate G via a
 // planning dry run on an empty neighbor set, so the Exchange stage can
-// broadcast causally consistent values. Always parallel: a node's
-// controller is touched by that node alone.
+// broadcast causally consistent values. The dry run's pure sub-results
+// (own fit, peak scan) are cached in the controller for the Plan stage,
+// which re-plans the identical (position, samples) inputs — reuse is
+// bit-identical by determinism. Always parallel: a node's controller is
+// touched by that node alone, and the per-worker fit scratch by its
+// worker alone.
 type FitStage struct{}
 
 // Name implements Stage.
@@ -71,11 +76,11 @@ func (FitStage) Name() string { return "fit" }
 
 // Run implements Stage.
 func (FitStage) Run(e *Engine, s *Slot) error {
-	return e.forNodes(true, func(i int) error {
+	return e.forNodes(true, func(w, i int) error {
 		if !s.Alive.Up(i) {
 			return nil
 		}
-		d, err := e.ctrl[i].Plan(e.pos[i], s.Samples[i], nil)
+		d, err := e.ctrl[i].PlanEstimate(e.fitters[w], e.pos[i], s.Samples[i])
 		if err != nil {
 			return fmt.Errorf("node %d estimate: %w", i, err)
 		}
@@ -98,13 +103,20 @@ func (ExchangeStage) Name() string { return "exchange" }
 
 // Run implements Stage.
 func (ExchangeStage) Run(e *Engine, s *Slot) error {
-	e.refreshIndex()
+	if err := e.refreshNeighbors(); err != nil {
+		return err
+	}
 	inj := e.opts.Faults
-	return e.forNodes(!s.Faulty, func(i int) error {
+	return e.forNodes(!s.Faulty, func(w, i int) error {
 		if !s.Alive.Up(i) {
 			return nil
 		}
-		for _, j := range e.neighborsOf(i, nil) {
+		// Fresh deliveries: the cached neighbor list is ascending, so the
+		// received reports arrive — and stay — sorted by ID with no
+		// explicit sort. DropLink must be consulted in exactly this order
+		// (ascending j within ascending i): it advances shared channel
+		// state.
+		for _, j := range e.nbrLists[i] {
 			if !s.Alive.Up(j) {
 				continue // dead neighbors announce nothing
 			}
@@ -114,34 +126,10 @@ func (ExchangeStage) Run(e *Engine, s *Slot) error {
 			s.Infos[i] = append(s.Infos[i], mobile.NeighborInfo{
 				ID: j, Pos: e.pos[j], G: s.Curv[j],
 			})
-			if s.Faulty {
-				e.heard[i][j] = heardReport{pos: e.pos[j], g: s.Curv[j], slot: s.Epoch}
-			}
 		}
 		if s.Faulty {
-			// Replay stale cached reports for neighbors that went silent
-			// this slot — a lost delivery, a death, or a move out of range.
-			heardNow := make(map[int]bool, len(s.Infos[i]))
-			for _, nb := range s.Infos[i] {
-				heardNow[nb.ID] = true
-			}
-			for j, rec := range e.heard[i] {
-				if heardNow[j] {
-					continue
-				}
-				age := s.Epoch - rec.slot
-				if age > inj.StaleSlots() {
-					delete(e.heard[i], j)
-					continue
-				}
-				s.Infos[i] = append(s.Infos[i], mobile.NeighborInfo{
-					ID: j, Pos: rec.pos, G: rec.g, Age: age,
-				})
-			}
+			e.mergeHeard(s, i)
 		}
-		sort.Slice(s.Infos[i], func(a, b int) bool {
-			return s.Infos[i][a].ID < s.Infos[i][b].ID
-		})
 		return nil
 	})
 }
@@ -158,11 +146,11 @@ func (PlanStage) Name() string { return "plan" }
 
 // Run implements Stage.
 func (PlanStage) Run(e *Engine, s *Slot) error {
-	err := e.forNodes(true, func(i int) error {
+	err := e.forNodes(true, func(w, i int) error {
 		if !s.Alive.Up(i) {
 			return nil
 		}
-		d, err := e.ctrl[i].Plan(e.pos[i], s.Samples[i], s.Infos[i])
+		d, err := e.ctrl[i].PlanCached(e.fitters[w], e.pos[i], s.Samples[i], s.Infos[i])
 		if err != nil {
 			return fmt.Errorf("node %d plan: %w", i, err)
 		}
@@ -203,8 +191,7 @@ func (ResolveStage) Name() string { return "resolve" }
 
 // Run implements Stage.
 func (ResolveStage) Run(e *Engine, s *Slot) error {
-	resolved, follows := mobile.ResolveLCM(e.dyn.Bounds(), e.opts.Config.Rc, s.Alive, s.Next, s.Infos)
-	s.Next = resolved
+	follows := e.lcm.Resolve(e.dyn.Bounds(), e.opts.Config.Rc, s.Alive, s.Next, s.Infos)
 	s.Stats.Followed = follows
 	if follows < 0 { // projection failed: slot reverted
 		s.Stats.Followed = 0
@@ -218,8 +205,10 @@ func (ResolveStage) Run(e *Engine, s *Slot) error {
 
 // MoveStage accounts the realized displacements (movement energy, battery
 // drain on the alive faulty path), invokes the BeforeMove hook, and
-// commits the resolved positions. Serial: the displacement fold is an
-// ordered FP sum and the commit is global.
+// commits the resolved positions by publishing s.Next and recycling the
+// previous position array as the next slot's tentative buffer (the
+// view.Alive contract permits reuse once the epoch advances). Serial: the
+// displacement fold is an ordered FP sum and the commit is global.
 type MoveStage struct{}
 
 // Name implements Stage.
@@ -243,7 +232,7 @@ func (MoveStage) Run(e *Engine, s *Slot) error {
 	if e.opts.BeforeMove != nil {
 		e.opts.BeforeMove(e.pos, s.Next)
 	}
-	e.pos = s.Next
+	e.spare, e.pos = e.pos, s.Next
 	e.epoch++
 	return nil
 }

@@ -62,8 +62,16 @@ func (s *Sampler) Disc(f Field, center geom.Vec2, rs float64) []Sample {
 
 // DiscTime is Disc against a dynamic field at time t.
 func (s *Sampler) DiscTime(d DynField, center geom.Vec2, rs float64, t float64) []Sample {
+	return s.DiscTimeInto(nil, d, center, rs, t)
+}
+
+// DiscTimeInto is DiscTime appending into dst, typically dst[:0] of a
+// buffer reused across slots so steady-state sensing is allocation-free.
+// Measurement order — and hence the noise RNG draw order — is identical to
+// DiscTime.
+func (s *Sampler) DiscTimeInto(dst []Sample, d DynField, center geom.Vec2, rs float64, t float64) []Sample {
 	bounds := d.Bounds()
-	var out []Sample
+	out := dst
 	if bounds.Contains(center) {
 		out = append(out, s.AtTime(d, center, t))
 	}

@@ -36,6 +36,23 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
 }
 
+// Reuse reshapes m to rows×cols in place, reusing the backing storage
+// when its capacity allows. Element values are unspecified afterwards;
+// callers must write every cell before reading. It exists so hot loops
+// (the curvature fitter rebuilding small design matrices tens of times
+// per node per slot) can refill a persistent matrix without allocating.
+func (m *Matrix) Reuse(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	}
+	m.data = m.data[:n]
+	m.rows, m.cols = rows, cols
+}
+
 // FromRows builds a matrix from row slices. All rows must have equal length.
 func FromRows(rows [][]float64) (*Matrix, error) {
 	if len(rows) == 0 {
@@ -169,6 +186,18 @@ func (m *Matrix) ScaleInPlace(s float64) *Matrix {
 		m.data[i] *= s
 	}
 	return m
+}
+
+// RowView returns row i as a slice borrowing the matrix's backing storage:
+// writes through it update the matrix directly. It exists for hot fill
+// loops (the curvature fitter writes every cell of a small design matrix
+// tens of times per node per slot) where per-element Set bounds checks are
+// measurable. The slice is only valid until the next Reuse.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of bounds for %dx%d", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
 }
 
 // Row returns a copy of row i.

@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLSQBitIdentical pins the workspace solver to the allocating path:
+// for random overdetermined systems — including the 12×6 and 78×6 shapes
+// the curvature fitter produces, rank-deficient ones, and repeated reuse
+// of one workspace across shapes — Solve must return bit-for-bit the same
+// solution (or the same error) as LeastSquares.
+func TestLSQBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var w LSQ
+	shapes := [][2]int{{3, 3}, {6, 3}, {12, 6}, {78, 6}, {80, 3}, {7, 6}}
+	for trial := 0; trial < 200; trial++ {
+		sh := shapes[trial%len(shapes)]
+		m, n := sh[0], sh[1]
+		a := NewMatrix(m, n)
+		b := make([]float64, m)
+		rankDeficient := trial%7 == 3
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64()
+				if rankDeficient && j == n-1 {
+					v = a.At(i, 0) * 2 // duplicate column: singular
+				}
+				a.Set(i, j, v)
+			}
+			b[i] = rng.NormFloat64()
+		}
+		want, wantErr := LeastSquares(a, b)
+		got, gotErr := w.Solve(a, b)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d (%dx%d): error mismatch: LeastSquares=%v LSQ=%v", trial, m, n, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(gotErr, ErrSingular) || !errors.Is(wantErr, ErrSingular) {
+				t.Fatalf("trial %d: unexpected error kinds: %v vs %v", trial, wantErr, gotErr)
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: solution length %d, want %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("trial %d (%dx%d) x[%d]: bits %016x, want %016x",
+					trial, m, n, k, math.Float64bits(got[k]), math.Float64bits(want[k]))
+			}
+		}
+	}
+}
+
+// TestLSQShapeErrors checks the workspace rejects underdetermined systems
+// and mismatched right-hand sides like the allocating path does.
+func TestLSQShapeErrors(t *testing.T) {
+	var w LSQ
+	if _, err := w.Solve(NewMatrix(2, 3), []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("underdetermined: got %v, want ErrShape", err)
+	}
+	if _, err := w.Solve(NewMatrix(3, 2), []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad rhs: got %v, want ErrShape", err)
+	}
+}
+
+// TestLSQAllocFree asserts the steady-state contract: after the first
+// solve of a given shape, further solves do not allocate.
+func TestLSQAllocFree(t *testing.T) {
+	var w LSQ
+	a := NewMatrix(12, 6)
+	b := make([]float64, 12)
+	rng := rand.New(rand.NewSource(3))
+	fill := func() {
+		for i := 0; i < 12; i++ {
+			for j := 0; j < 6; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b[i] = rng.NormFloat64()
+		}
+	}
+	fill()
+	if _, err := w.Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		fill()
+		if _, err := w.Solve(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// fill() itself allocates nothing; Solve must not either.
+	if allocs != 0 {
+		t.Fatalf("steady-state Solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestMatrixReuse checks Reuse preserves capacity and reshapes correctly.
+func TestMatrixReuse(t *testing.T) {
+	m := NewMatrix(10, 6)
+	data0 := &m.data[0]
+	m.Reuse(4, 3)
+	if m.Rows() != 4 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d, want 4x3", m.Rows(), m.Cols())
+	}
+	if &m.data[0] != data0 {
+		t.Fatal("Reuse reallocated despite sufficient capacity")
+	}
+	m.Reuse(20, 6)
+	if m.Rows() != 20 || m.Cols() != 6 || len(m.data) != 120 {
+		t.Fatalf("grow: shape %dx%d len %d", m.Rows(), m.Cols(), len(m.data))
+	}
+}

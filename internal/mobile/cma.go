@@ -148,6 +148,17 @@ type Decision struct {
 	Move bool
 }
 
+// FitMethod returns the curvature least-squares backend the configuration
+// selects: Huber under RobustFit, the paper's QR fit otherwise. Callers
+// that share curvature.Fitter scratch across controllers (the engine's
+// per-worker fitters) must build those fitters with this method.
+func (c Config) FitMethod() curvature.Method {
+	if c.RobustFit {
+		return curvature.Huber
+	}
+	return curvature.QR
+}
+
 // Controller is the per-node CMA state machine. Each node owns one; it is
 // not safe for concurrent use by multiple goroutines.
 type Controller struct {
@@ -164,6 +175,25 @@ type Controller struct {
 	// (boundary flicker, LCM nudges) from waking the whole swarm and
 	// lets it genuinely converge, as in the paper's Fig. 10.
 	parked bool
+	// fitter is the lazily-created fallback fit scratch used by Plan when
+	// the caller does not supply shared scratch of its own.
+	fitter *curvature.Fitter
+	// fit is the single-slot cache filled by PlanEstimate and consumed by
+	// PlanCached: the engine runs the same (pos, samples) through a dry
+	// run and the real planning pass every slot, and the expensive pure
+	// sub-results — the node's own curvature fit and the peak scan — are
+	// identical between the two by determinism.
+	fit fitCache
+}
+
+// fitCache holds the pure, input-determined results of one planning pass.
+type fitCache struct {
+	valid bool
+	pos   geom.Vec2
+	nsamp int
+	est   curvature.Estimate
+	peak  geom.Vec2
+	peakG float64
 }
 
 // restartFactor is the hysteresis ratio between the wake-up and stop
@@ -208,6 +238,44 @@ func (c *Controller) Config() Config { return c.cfg }
 // the sensed samples, evaluate the virtual forces against the neighbor
 // reports, and decide whether and where to move.
 func (c *Controller) Plan(pos geom.Vec2, samples []field.Sample, neighbors []NeighborInfo) (Decision, error) {
+	return c.plan(c.ownFitter(), pos, samples, neighbors, false, false)
+}
+
+// PlanEstimate is the planning dry run on an empty neighbor set that the
+// engine's Fit stage performs to obtain the node's broadcastable curvature
+// estimate G. It behaves exactly like Plan(pos, samples, nil) — including
+// the parked-state and normalizer side effects — and additionally caches
+// the pure sub-results (own curvature fit, peak scan) for the PlanCached
+// call of the same slot. f supplies shared fit scratch; it must have been
+// built with Config.FitMethod, and nil falls back to the controller's own.
+func (c *Controller) PlanEstimate(f *curvature.Fitter, pos geom.Vec2, samples []field.Sample) (Decision, error) {
+	return c.plan(f, pos, samples, nil, true, false)
+}
+
+// PlanCached is Plan reusing the fit cache deposited by a PlanEstimate
+// call with identical (pos, samples) inputs — the expensive own-fit and
+// peak-scan work is skipped, which is bit-identical by determinism. When
+// the cache does not match (different position, changed sample count, or
+// no preceding PlanEstimate) it transparently recomputes. The cache is
+// consumed either way.
+func (c *Controller) PlanCached(f *curvature.Fitter, pos geom.Vec2, samples []field.Sample, neighbors []NeighborInfo) (Decision, error) {
+	return c.plan(f, pos, samples, neighbors, false, true)
+}
+
+// ownFitter lazily creates the controller-owned fit scratch.
+func (c *Controller) ownFitter() *curvature.Fitter {
+	if c.fitter == nil {
+		c.fitter = curvature.NewFitter(c.cfg.FitMethod())
+	}
+	return c.fitter
+}
+
+// plan is the shared planning pass. fill caches the pure fit results for
+// the next call; reuse consumes a matching cache instead of recomputing.
+func (c *Controller) plan(f *curvature.Fitter, pos geom.Vec2, samples []field.Sample, neighbors []NeighborInfo, fill, reuse bool) (Decision, error) {
+	if f == nil {
+		f = c.ownFitter()
+	}
 	var d Decision
 	if len(samples) < minFitSamples {
 		// Degraded sensing (dropouts left fewer readings than the full
@@ -217,6 +285,7 @@ func (c *Controller) Plan(pos geom.Vec2, samples []field.Sample, neighbors []Nei
 		// curvature until its sensor view recovers. Neighbor curvature
 		// reports still feed the normalizer so the node rejoins the force
 		// balance seamlessly.
+		c.fit.valid = false
 		for _, nb := range neighbors {
 			c.observeG(nb.G)
 		}
@@ -224,16 +293,28 @@ func (c *Controller) Plan(pos geom.Vec2, samples []field.Sample, neighbors []Nei
 		d.Target = pos
 		return d, nil
 	}
-	method := curvature.QR
-	if c.cfg.RobustFit {
-		method = curvature.Huber
-	}
-	est, err := curvature.Fit(pos, samples, method)
-	if err != nil {
-		if !errors.Is(err, curvature.ErrTooFewSamples) {
-			return d, fmt.Errorf("mobile: node %d curvature: %w", c.id, err)
+	reuse = reuse && c.fit.valid && c.fit.pos == pos && c.fit.nsamp == len(samples)
+	var est curvature.Estimate
+	var peak geom.Vec2
+	var peakG float64
+	if reuse {
+		est, peak, peakG = c.fit.est, c.fit.peak, c.fit.peakG
+		c.fit.valid = false
+	} else {
+		var err error
+		est, err = f.Fit(pos, samples)
+		if err != nil {
+			if !errors.Is(err, curvature.ErrTooFewSamples) {
+				return d, fmt.Errorf("mobile: node %d curvature: %w", c.id, err)
+			}
+			est = curvature.Estimate{} // blind node: zero curvature
 		}
-		est = curvature.Estimate{} // blind node: zero curvature
+		// F1 candidates: the sensed sample positions; the curvature at
+		// each is fitted from its nearest sampled neighbors (Eqn 14).
+		peak, peakG = c.findPeak(f, pos, samples)
+	}
+	if fill {
+		c.fit = fitCache{valid: true, pos: pos, nsamp: len(samples), est: est, peak: peak, peakG: peakG}
 	}
 	d.G = est.Gaussian
 	c.observeG(est.Gaussian)
@@ -241,10 +322,7 @@ func (c *Controller) Plan(pos geom.Vec2, samples []field.Sample, neighbors []Nei
 		c.observeG(nb.G)
 	}
 
-	// F1: attraction to the highest-curvature position in sensing range
-	// (Eqn 14). Candidate positions are the sensed sample positions; the
-	// curvature at each is fitted from its nearest sampled neighbors.
-	peak, peakG := c.findPeak(pos, samples, method)
+	// F1: attraction to the highest-curvature position in sensing range.
 	d.Peak = peak
 	d.F1 = peak.Sub(pos).Scale(c.cfg.CurvGain * c.weight(peakG))
 
@@ -359,7 +437,7 @@ func (c *Controller) weight(g float64) float64 {
 // one-sided neighborhoods and produce wildly unstable curvature
 // estimates, which would make pc — and hence F1 — jitter between slots.
 // With no samples it returns pos and 0.
-func (c *Controller) findPeak(pos geom.Vec2, samples []field.Sample, method curvature.Method) (geom.Vec2, float64) {
+func (c *Controller) findPeak(f *curvature.Fitter, pos geom.Vec2, samples []field.Sample) (geom.Vec2, float64) {
 	if len(samples) < 3 {
 		return pos, 0
 	}
@@ -369,7 +447,7 @@ func (c *Controller) findPeak(pos geom.Vec2, samples []field.Sample, method curv
 		if s.Pos.Dist(pos) > inner {
 			continue
 		}
-		est, err := curvature.FitNearest(s.Pos, samples, c.cfg.PeakFitM, method)
+		est, err := f.FitNearest(s.Pos, samples, c.cfg.PeakFitM)
 		if err != nil {
 			continue
 		}

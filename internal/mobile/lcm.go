@@ -75,9 +75,30 @@ func LCMFollow(pos geom.Vec2, ann MoveAnnouncement, selfID int, rc float64) (geo
 // reverted wholesale to v.Pos and follows is returned as -1; otherwise
 // follows counts the projection operations performed.
 func ResolveLCM(region geom.Rect, rc float64, v view.Alive, next []geom.Vec2, neighborInfos [][]NeighborInfo) (resolved []geom.Vec2, follows int) {
-	oldPos := v.Pos
 	resolved = append([]geom.Vec2(nil), next...)
-	var oldEdges [][2]int
+	var s LCMScratch
+	follows = s.Resolve(region, rc, v, resolved, neighborInfos)
+	return resolved, follows
+}
+
+// LCMScratch holds the reusable edge buffer of the in-place LCM resolver.
+// The zero value is ready to use; a scratch is not safe for concurrent use.
+type LCMScratch struct {
+	edges [][2]int
+}
+
+// Resolve is ResolveLCM operating in place: next is both input and output —
+// the tentative positions are corrected (or, on projection failure, every
+// entry is overwritten with the pre-move position v.Pos[i]) without
+// allocating a result slice, and the critical-edge list is accumulated in
+// the scratch's reusable buffer. The return value is ResolveLCM's follows
+// count: projection operations performed, or -1 on wholesale revert. The
+// arithmetic — edge selection, projection order, convergence test — is
+// identical to ResolveLCM, so resolved positions match it bit for bit.
+func (s *LCMScratch) Resolve(region geom.Rect, rc float64, v view.Alive, next []geom.Vec2, neighborInfos [][]NeighborInfo) (follows int) {
+	oldPos := v.Pos
+	resolved := next
+	oldEdges := s.edges[:0]
 	for i := range neighborInfos {
 		if !v.Up(i) {
 			continue
@@ -92,6 +113,7 @@ func ResolveLCM(region geom.Rect, rc float64, v view.Alive, next []geom.Vec2, ne
 			oldEdges = append(oldEdges, [2]int{i, nb.ID})
 		}
 	}
+	s.edges = oldEdges
 	limit := rc * (1 - 1e-4) // project slightly inside Rc for FP headroom
 	bridged := func(i, j int) bool {
 		for _, nb := range neighborInfos[i] {
@@ -143,8 +165,9 @@ func ResolveLCM(region geom.Rect, rc float64, v view.Alive, next []geom.Vec2, ne
 			}
 		}
 		if !converged {
-			return append([]geom.Vec2(nil), oldPos...), -1
+			copy(resolved, oldPos)
+			return -1
 		}
 	}
-	return resolved, follows
+	return follows
 }

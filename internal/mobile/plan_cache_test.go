@@ -1,0 +1,193 @@
+package mobile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/curvature"
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/view"
+)
+
+func sameDecision(t *testing.T, label string, got, want Decision) {
+	t.Helper()
+	bits := func(v float64) uint64 { return math.Float64bits(v) }
+	sameVec := func(a, b geom.Vec2) bool {
+		return bits(a.X) == bits(b.X) && bits(a.Y) == bits(b.Y)
+	}
+	if bits(got.G) != bits(want.G) || got.Move != want.Move ||
+		!sameVec(got.F1, want.F1) || !sameVec(got.F2, want.F2) ||
+		!sameVec(got.Fr, want.Fr) || !sameVec(got.Fs, want.Fs) ||
+		!sameVec(got.Peak, want.Peak) || !sameVec(got.Target, want.Target) {
+		t.Fatalf("%s: decisions diverged:\ngot  %+v\nwant %+v", label, got, want)
+	}
+}
+
+// TestPlanCachedBitIdentical replays the engine's per-slot call pattern —
+// a dry run on the empty neighbor set followed by the real planning pass —
+// through two controllers: the reference uses Plan twice, the subject uses
+// PlanEstimate + PlanCached with shared fitter scratch. Every decision of
+// every slot must match bit for bit, across parked transitions and a
+// multi-slot trajectory on a curved field.
+func TestPlanCachedBitIdentical(t *testing.T) {
+	for _, robust := range []bool{false, true} {
+		f := &field.Mixture{
+			Region: geom.Square(100),
+			Blobs: []field.Blob{
+				{Center: geom.V2(54, 50), Amp: 10, SigmaX: 2, SigmaY: 2},
+				{Center: geom.V2(47, 55), Amp: -6, SigmaX: 3, SigmaY: 1.5},
+			},
+		}
+		cfg := DefaultConfig()
+		cfg.RobustFit = robust
+		ref, err := NewController(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := NewController(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := curvature.NewFitter(cfg.FitMethod())
+
+		rng := rand.New(rand.NewSource(21))
+		pos := geom.V2(50, 50)
+		for slot := 0; slot < 12; slot++ {
+			samples := sense(f, pos, cfg.Rs)
+			var neighbors []NeighborInfo
+			for k := 0; k < 3; k++ {
+				neighbors = append(neighbors, NeighborInfo{
+					ID:  10 + k,
+					Pos: pos.Add(geom.V2(rng.Float64()*8-4, rng.Float64()*8-4)),
+					G:   rng.NormFloat64() * 1e-3,
+					Age: k % 2,
+				})
+			}
+
+			dryRef, err := ref.Plan(pos, samples, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drySub, err := sub.PlanEstimate(shared, pos, samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDecision(t, "dry run", drySub, dryRef)
+
+			planRef, err := ref.Plan(pos, samples, neighbors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planSub, err := sub.PlanCached(shared, pos, samples, neighbors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDecision(t, "planning pass", planSub, planRef)
+
+			pos = ref.Step(pos, planRef)
+		}
+	}
+}
+
+// TestPlanCachedMissRecomputes covers the cache-miss paths: a PlanCached
+// with no preceding PlanEstimate, and one whose position moved since the
+// estimate, must both transparently recompute and still match Plan.
+func TestPlanCachedMissRecomputes(t *testing.T) {
+	f := &field.Mixture{
+		Region: geom.Square(100),
+		Blobs:  []field.Blob{{Center: geom.V2(54, 50), Amp: 10, SigmaX: 2, SigmaY: 2}},
+	}
+	cfg := DefaultConfig()
+	mk := func() *Controller {
+		c, err := NewController(0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	pos := geom.V2(50, 50)
+	samples := sense(f, pos, cfg.Rs)
+	nbs := []NeighborInfo{{ID: 1, Pos: geom.V2(53, 50), G: 1e-3}}
+
+	// Cold cache.
+	want, err := mk().Plan(pos, samples, nbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mk().PlanCached(nil, pos, samples, nbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDecision(t, "cold cache", got, want)
+
+	// Stale cache: estimate at one position, plan at another.
+	ref, sub := mk(), mk()
+	moved := geom.V2(51, 50)
+	movedSamples := sense(f, moved, cfg.Rs)
+	if _, err := sub.PlanEstimate(nil, pos, samples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Plan(pos, samples, nil); err != nil {
+		t.Fatal(err)
+	}
+	want, err = ref.Plan(moved, movedSamples, nbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = sub.PlanCached(nil, moved, movedSamples, nbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDecision(t, "stale cache", got, want)
+}
+
+// TestResolveLCMInPlaceBitIdentical pins LCMScratch.Resolve to ResolveLCM
+// across random over-stretched swarms, with the scratch reused between
+// calls and dead nodes in the mix.
+func TestResolveLCMInPlaceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	region := geom.Square(100)
+	const rc = 10.0
+	var scratch LCMScratch
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + rng.Intn(10)
+		oldPos := make([]geom.Vec2, n)
+		next := make([]geom.Vec2, n)
+		for i := range oldPos {
+			oldPos[i] = geom.V2(rng.Float64()*40+30, rng.Float64()*40+30)
+			// Aggressive tentative moves so plenty of pre-move links break.
+			next[i] = region.ClampPoint(oldPos[i].Add(geom.V2(rng.Float64()*12-6, rng.Float64()*12-6)))
+		}
+		var mask []bool
+		if trial%3 == 0 {
+			mask = make([]bool, n)
+			for i := range mask {
+				mask[i] = rng.Float64() > 0.2
+			}
+		}
+		infos := make([][]NeighborInfo, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && oldPos[i].Dist(oldPos[j]) <= rc {
+					infos[i] = append(infos[i], NeighborInfo{ID: j, Pos: oldPos[j]})
+				}
+			}
+		}
+		v := view.Alive{Pos: oldPos, Mask: mask}
+
+		wantPos, wantFollows := ResolveLCM(region, rc, v, next, infos)
+		gotPos := append([]geom.Vec2(nil), next...)
+		gotFollows := scratch.Resolve(region, rc, v, gotPos, infos)
+		if gotFollows != wantFollows {
+			t.Fatalf("trial %d: follows %d, want %d", trial, gotFollows, wantFollows)
+		}
+		for i := range wantPos {
+			if math.Float64bits(gotPos[i].X) != math.Float64bits(wantPos[i].X) ||
+				math.Float64bits(gotPos[i].Y) != math.Float64bits(wantPos[i].Y) {
+				t.Fatalf("trial %d node %d: %v, want %v", trial, i, gotPos[i], wantPos[i])
+			}
+		}
+	}
+}

@@ -58,6 +58,13 @@ type Options struct {
 	// fault injector reports its event counters to the same registry.
 	// Instrumentation never perturbs the trajectory; nil is free.
 	Metrics *obs.Registry
+	// NeighborReuseTol is the engine's neighbor-list reuse displacement
+	// tolerance in meters. The zero default keeps cached lists exact — a
+	// list is reused only when reusing it is bit-identical to recomputing
+	// it. A positive tolerance lets lists survive sub-tolerance drift,
+	// trading exact neighborhoods for fewer index queries in large slow
+	// swarms; keep it well under Config.Rc.
+	NeighborReuseTol float64
 }
 
 // DefaultOptions returns the paper's Section 6 OSTD settings.
@@ -136,6 +143,8 @@ func NewWorld(dyn field.DynField, positions []geom.Vec2, opts Options) (*World, 
 		Faults:      opts.Faults,
 		BeforeMove:  w.beforeMove,
 		Metrics:     opts.Metrics,
+
+		NeighborReuseTol: opts.NeighborReuseTol,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)

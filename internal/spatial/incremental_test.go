@@ -1,0 +1,82 @@
+package spatial
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestUpdateRelocatesBetweenBuckets exercises the in-cell and cross-cell
+// move paths plus numEmpty bookkeeping.
+func TestUpdateRelocatesBetweenBuckets(t *testing.T) {
+	pts := []geom.Vec2{{X: 0.5, Y: 0.5}, {X: 5.5, Y: 0.5}, {X: 0.5, Y: 5.5}}
+	idx, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := idx.Update(0, geom.V2(0.6, 0.6)); moved {
+		t.Error("in-cell nudge reported a cell change")
+	}
+	if moved := idx.Update(0, geom.V2(5.4, 5.4)); !moved {
+		t.Error("cross-cell move not reported")
+	}
+	got := idx.Within(nil, geom.V2(5.5, 5.5), 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Within after move = %v, want [0]", got)
+	}
+	if got := idx.Within(nil, geom.V2(0.5, 0.5), 1); len(got) != 0 {
+		t.Errorf("old cell still answers %v", got)
+	}
+}
+
+// TestUpdateEscapeAccounting checks Escaped() rises when a point leaves the
+// frozen bounds and falls when it returns, while queries stay exact.
+func TestUpdateEscapeAccounting(t *testing.T) {
+	pts := []geom.Vec2{{X: 0, Y: 0}, {X: 10, Y: 10}}
+	idx, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Escaped() != 0 {
+		t.Fatalf("fresh index Escaped() = %d", idx.Escaped())
+	}
+	idx.Update(0, geom.V2(-50, -50))
+	if idx.Escaped() != 1 {
+		t.Fatalf("after escape Escaped() = %d, want 1", idx.Escaped())
+	}
+	// The escaped point is clamped into a border cell but still found
+	// exactly, both near its true position and not elsewhere.
+	if got := idx.Within(nil, geom.V2(-50, -50), 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("escaped point not found: %v", got)
+	}
+	if got := idx.Within(nil, geom.V2(0, 0), 1); len(got) != 0 {
+		t.Errorf("escaped point ghost at origin: %v", got)
+	}
+	idx.Update(0, geom.V2(1, 1))
+	if idx.Escaped() != 0 {
+		t.Fatalf("after return Escaped() = %d, want 0", idx.Escaped())
+	}
+}
+
+// TestQueryRangeCoversWithin checks that every point Within finds lies in
+// the cell rectangle QueryRange reports for the same query.
+func TestQueryRangeCoversWithin(t *testing.T) {
+	pts := []geom.Vec2{{X: 1, Y: 1}, {X: 7, Y: 3}, {X: 4, Y: 9}, {X: 9.5, Y: 9.5}}
+	idx, err := NewIndex(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.V2(5, 5)
+	const r = 4.5
+	loI, hiI, loJ, hiJ := idx.QueryRange(q, r)
+	for _, i := range idx.Within(nil, q, r) {
+		ci, cj := idx.Cell(idx.Point(i))
+		if ci < loI || ci > hiI || cj < loJ || cj > hiJ {
+			t.Errorf("point %d cell (%d,%d) outside QueryRange [%d,%d]x[%d,%d]", i, ci, cj, loI, hiI, loJ, hiJ)
+		}
+	}
+	cols, rows := idx.Dims()
+	if hiI >= cols || hiJ >= rows {
+		t.Errorf("QueryRange exceeds Dims: [%d,%d]x[%d,%d] vs %dx%d", loI, hiI, loJ, hiJ, cols, rows)
+	}
+}

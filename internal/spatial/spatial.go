@@ -14,8 +14,14 @@ import (
 	"repro/internal/geom"
 )
 
-// Index is a uniform-grid spatial hash over a fixed point set. Build one
-// with NewIndex; it is immutable afterwards and safe for concurrent reads.
+// Index is a uniform-grid spatial hash over a point set. Build one with
+// NewIndex; it is safe for concurrent reads. Update mutates a single
+// point's position in place (not concurrently with reads), keeping the
+// grid geometry — origin, cell size, dimensions — frozen at its build-time
+// bounding box: moved points that leave the original bounds are clamped
+// into the border cells, which keeps every query exact (queries clamp
+// identically) but degrades bucket balance as escapees pile up. Escaped
+// tracks that degradation so callers can fall back to a full rebuild.
 type Index struct {
 	pts      []geom.Vec2
 	cell     float64
@@ -25,6 +31,7 @@ type Index struct {
 	rows     int
 	buckets  [][]int32
 	numEmpty int
+	escaped  int
 }
 
 // NewIndex builds an index over pts with the given cell size (typically
@@ -68,6 +75,77 @@ func (x *Index) cellOf(p geom.Vec2) int {
 	ci := clampInt(int((p.X-x.minX)/x.cell), 0, x.cols-1)
 	cj := clampInt(int((p.Y-x.minY)/x.cell), 0, x.rows-1)
 	return cj*x.cols + ci
+}
+
+// outside reports whether p falls outside the frozen grid (it will be
+// clamped into a border cell). Used only as a rebuild heuristic.
+func (x *Index) outside(p geom.Vec2) bool {
+	ci := int((p.X - x.minX) / x.cell)
+	cj := int((p.Y - x.minY) / x.cell)
+	return ci < 0 || ci >= x.cols || cj < 0 || cj >= x.rows || p.X < x.minX || p.Y < x.minY
+}
+
+// Update moves indexed point i to p, relocating it between buckets only
+// when its cell changed, and reports whether it did. The bucket removal is
+// a swap-remove, so bucket-internal order is unspecified — Within results
+// are unaffected (they are sorted) and Pairs still enumerates the exact
+// edge set, though in a different order than a freshly built index.
+func (x *Index) Update(i int, p geom.Vec2) bool {
+	old := x.pts[i]
+	if x.outside(old) {
+		x.escaped--
+	}
+	if x.outside(p) {
+		x.escaped++
+	}
+	oldCell := x.cellOf(old)
+	newCell := x.cellOf(p)
+	x.pts[i] = p
+	if oldCell == newCell {
+		return false
+	}
+	b := x.buckets[oldCell]
+	for k, v := range b {
+		if v == int32(i) {
+			b[k] = b[len(b)-1]
+			x.buckets[oldCell] = b[:len(b)-1]
+			break
+		}
+	}
+	if len(x.buckets[oldCell]) == 0 {
+		x.numEmpty++
+	}
+	if len(x.buckets[newCell]) == 0 {
+		x.numEmpty--
+	}
+	x.buckets[newCell] = append(x.buckets[newCell], int32(i))
+	return true
+}
+
+// Escaped returns how many points currently sit outside the frozen grid
+// bounds (clamped into border cells). A caller-chosen fraction of N is the
+// usual full-rebuild trigger.
+func (x *Index) Escaped() int { return x.escaped }
+
+// Cell returns the clamped grid coordinates of the cell holding p.
+func (x *Index) Cell(p geom.Vec2) (ci, cj int) {
+	ci = clampInt(int((p.X-x.minX)/x.cell), 0, x.cols-1)
+	cj = clampInt(int((p.Y-x.minY)/x.cell), 0, x.rows-1)
+	return ci, cj
+}
+
+// Dims returns the grid dimensions (columns, rows).
+func (x *Index) Dims() (cols, rows int) { return x.cols, x.rows }
+
+// QueryRange returns the clamped cell-coordinate rectangle Within(q, r)
+// scans. Callers caching query results use it to detect whether a later
+// point move could have changed the result.
+func (x *Index) QueryRange(q geom.Vec2, r float64) (loI, hiI, loJ, hiJ int) {
+	loI = clampInt(int((q.X-r-x.minX)/x.cell), 0, x.cols-1)
+	hiI = clampInt(int((q.X+r-x.minX)/x.cell), 0, x.cols-1)
+	loJ = clampInt(int((q.Y-r-x.minY)/x.cell), 0, x.rows-1)
+	hiJ = clampInt(int((q.Y+r-x.minY)/x.cell), 0, x.rows-1)
+	return loI, hiI, loJ, hiJ
 }
 
 // Within appends to dst the indices of all points within radius r of q
