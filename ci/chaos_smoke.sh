@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Distributed-sweep chaos smoke: run a grid through the -serve/-join
+# coordinator/worker protocol with real worker processes, SIGKILL half of
+# them mid-sweep, let replacements join, and require the final aggregate
+# byte-identical to a plain single-process run of the same spec.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/sweep" ./cmd/sweep
+
+# A grid big enough that killing workers leaves real work in flight.
+cat > "$workdir/spec.json" <<'EOF'
+{
+  "name": "chaos-smoke",
+  "fields": [{"kind": "peaks"}, {"kind": "ridge"}],
+  "ks": [2, 4, 6, 8, 12],
+  "rcs": [30, 60],
+  "seeds": [1, 2],
+  "grid_n": 128,
+  "delta_n": 128,
+  "random_draws": 6
+}
+EOF
+
+"$workdir/sweep" -spec "$workdir/spec.json" -workers 4 -quiet -out "$workdir/ref.json"
+
+port=$((20000 + RANDOM % 20000))
+url="http://127.0.0.1:$port"
+"$workdir/sweep" -spec "$workdir/spec.json" -serve "127.0.0.1:$port" \
+  -lease-ttl 500ms -checkpoint "$workdir/chaos.ckpt" -quiet \
+  -out "$workdir/dist.json" &
+coord=$!
+pids+=("$coord")
+
+status() { curl -fsS --max-time 2 "$url/status" 2>/dev/null || true; }
+done_cells() { status | sed -n 's/.*"done":\([0-9]*\).*/\1/p'; }
+
+for _ in $(seq 1 100); do
+  [ -n "$(status)" ] && break
+  sleep 0.1
+done
+[ -n "$(status)" ] || { echo "coordinator never came up"; exit 1; }
+
+workers=()
+for _ in 1 2 3 4; do
+  "$workdir/sweep" -join "$url" -quiet &
+  workers+=("$!")
+  pids+=("$!")
+done
+
+# Wait for real progress, then SIGKILL two workers mid-sweep.
+for _ in $(seq 1 300); do
+  d=$(done_cells)
+  [ "${d:-0}" -ge 5 ] && break
+  sleep 0.1
+done
+d=$(done_cells)
+echo "chaos: $d cells done; killing workers ${workers[0]} and ${workers[2]}"
+if [ "${d:-0}" -ge 40 ]; then
+  echo "sweep finished before the kill; chaos window missed" >&2
+  exit 1
+fi
+kill -9 "${workers[0]}" "${workers[2]}" 2>/dev/null || true
+
+# Replacements join the survivors; their leases are re-granted after TTL.
+for _ in 1 2; do
+  "$workdir/sweep" -join "$url" -quiet &
+  pids+=("$!")
+done
+
+# The coordinator exits once every cell lands.
+for _ in $(seq 1 600); do
+  kill -0 "$coord" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$coord" 2>/dev/null; then
+  echo "coordinator did not finish in time; status: $(status)"
+  exit 1
+fi
+wait "$coord" || { echo "coordinator exited non-zero"; exit 1; }
+
+cmp "$workdir/ref.json" "$workdir/dist.json"
+echo "chaos smoke: aggregate byte-identical to single-process run ($(wc -c < "$workdir/ref.json") bytes)"

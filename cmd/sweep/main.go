@@ -10,16 +10,30 @@
 //	sweep -spec spec.json -workers 8 -checkpoint run.ckpt -out out.json
 //	sweep -spec spec.json -checkpoint run.ckpt -resume -out out.json
 //
+// Distributed mode splits the same sweep across processes and machines:
+//
+//	sweep -spec spec.json -serve :7787 -checkpoint run.ckpt -out out.json
+//	sweep -join http://host:7787           # on each worker machine
+//
+// -serve starts the lease-granting coordinator; -join pulls cell leases
+// from it and streams results back. Workers may crash, hang, or join
+// late: expired leases are re-granted, duplicate and stale submissions
+// are dropped, and the aggregate is byte-identical to a single-process
+// run. A coordinator killed mid-sweep restarts with -resume from its
+// checkpoint.
+//
 // The aggregated output (-out; .json, .csv, or a table on stdout) is
 // byte-identical for any worker count. With -checkpoint every finished
-// cell is durably recorded, so a sweep interrupted by SIGINT or -limit
-// resumes with -resume without recomputing, and the resumed output is
-// byte-identical to an uninterrupted run. -limit N stops after N cells —
-// a deterministic stand-in for "killed mid-sweep" used by CI and tests.
+// cell is durably recorded, so a sweep interrupted by SIGINT/SIGTERM or
+// -limit resumes with -resume without recomputing, and the resumed
+// output is byte-identical to an uninterrupted run. -limit N stops after
+// N cells — a deterministic stand-in for "killed mid-sweep" used by CI
+// and tests.
 //
 // The shared observability flags (-metrics-json, -metrics-prom, -pprof,
 // -report; see internal/obs/obscli) export the sweep counters, the
-// per-cell wall-time histogram and the worker-utilization gauges.
+// per-cell wall-time histogram and the worker-utilization gauges, plus
+// the dsweep lease/result counters in distributed mode.
 package main
 
 import (
@@ -28,28 +42,57 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"repro/internal/dsweep"
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
 	"repro/internal/sweep"
 )
 
+// config gathers every CLI knob realMain needs; tests fill it directly.
+type config struct {
+	SpecPath   string
+	Workers    int
+	Out        string
+	Format     string
+	Checkpoint string
+	Resume     bool
+	Limit      int
+	Example    bool
+	Quiet      bool
+	// Serve, when non-empty, runs the distributed-sweep coordinator on
+	// this listen address instead of computing cells locally.
+	Serve string
+	// Join, when non-empty, runs a worker against this coordinator URL.
+	Join string
+	// LeaseTTL is the coordinator's lease duration; 0 uses the default.
+	LeaseTTL time.Duration
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 
-	specPath := flag.String("spec", "", "path to the JSON scenario spec (required unless -example)")
-	workers := flag.Int("workers", 0, "worker pool size; 0 = NumCPU")
-	out := flag.String("out", "", "aggregated output path (.json or .csv; empty = table on stdout)")
-	format := flag.String("format", "", "output format override: json, csv or table")
-	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint path (enables resume)")
-	resume := flag.Bool("resume", false, "replay completed cells from -checkpoint instead of recomputing")
-	limit := flag.Int("limit", 0, "stop after completing N cells (deterministic interruption); 0 = run all")
-	example := flag.Bool("example", false, "print a small example spec to stdout and exit")
-	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines")
+	var cfg config
+	flag.StringVar(&cfg.SpecPath, "spec", "", "path to the JSON scenario spec (required unless -example or -join)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "worker pool size; 0 = NumCPU")
+	flag.StringVar(&cfg.Out, "out", "", "aggregated output path (.json or .csv; empty = table on stdout)")
+	flag.StringVar(&cfg.Format, "format", "", "output format override: json, csv or table")
+	flag.StringVar(&cfg.Checkpoint, "checkpoint", "", "JSONL checkpoint path (enables resume)")
+	flag.BoolVar(&cfg.Resume, "resume", false, "replay completed cells from -checkpoint instead of recomputing")
+	flag.IntVar(&cfg.Limit, "limit", 0, "stop after completing N cells (deterministic interruption); 0 = run all")
+	flag.BoolVar(&cfg.Example, "example", false, "print a small example spec to stdout and exit")
+	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress per-cell progress lines")
+	flag.StringVar(&cfg.Serve, "serve", "", "run the distributed-sweep coordinator on this address (e.g. :7787)")
+	flag.StringVar(&cfg.Join, "join", "", "join a coordinator as a worker (e.g. http://host:7787)")
+	flag.DurationVar(&cfg.LeaseTTL, "lease-ttl", 0, "coordinator lease duration before a silent worker's cells are re-granted; 0 = 15s")
 	reg := obs.NewRegistry()
 	run := obscli.New(reg)
 	run.RegisterFlags(flag.CommandLine)
@@ -58,7 +101,7 @@ func main() {
 	if err := run.Start(); err != nil {
 		log.Fatal(err)
 	}
-	err := realMain(*specPath, *workers, *out, *format, *checkpoint, *resume, *limit, *example, *quiet, reg)
+	err := realMain(cfg, reg)
 	if cerr := run.Close(); err == nil {
 		err = cerr
 	}
@@ -67,42 +110,42 @@ func main() {
 	}
 }
 
-func realMain(specPath string, workers int, out, format, checkpoint string, resume bool, limit int, example, quiet bool, reg *obs.Registry) error {
-	if example {
+func realMain(cfg config, reg *obs.Registry) error {
+	if cfg.Example {
 		return writeExample(os.Stdout)
 	}
-	if specPath == "" {
+	if cfg.Serve != "" && cfg.Join != "" {
+		return fmt.Errorf("-serve and -join are mutually exclusive")
+	}
+	if cfg.Join != "" {
+		if cfg.SpecPath != "" {
+			return fmt.Errorf("-join fetches the spec from the coordinator; drop -spec")
+		}
+		return runJoin(cfg, reg)
+	}
+	if cfg.SpecPath == "" {
 		return fmt.Errorf("missing -spec (or -example); see -h")
 	}
-	if resume && checkpoint == "" {
+	if cfg.Resume && cfg.Checkpoint == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
 	}
-	spec, err := sweep.LoadSpecFile(specPath)
+	spec, err := sweep.LoadSpecFile(cfg.SpecPath)
 	if err != nil {
 		return err
 	}
-
-	// SIGINT finishes the cells in flight, checkpoints them, and exits
-	// cleanly; a second SIGINT kills the process the usual way.
-	stop := make(chan struct{})
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt)
-	go func() {
-		<-sigs
-		log.Print("interrupt: finishing cells in flight (press again to kill)")
-		close(stop)
-		signal.Stop(sigs)
-	}()
+	if cfg.Serve != "" {
+		return runServe(cfg, spec, reg)
+	}
 
 	opts := sweep.RunOptions{
-		Workers:    workers,
-		Checkpoint: checkpoint,
-		Resume:     resume,
-		MaxCells:   limit,
-		Stop:       stop,
+		Workers:    cfg.Workers,
+		Checkpoint: cfg.Checkpoint,
+		Resume:     cfg.Resume,
+		MaxCells:   cfg.Limit,
+		Stop:       stopOnSignal(),
 		Metrics:    reg,
 	}
-	if !quiet {
+	if !cfg.Quiet {
 		opts.Log = os.Stderr
 	}
 	rep, err := sweep.Run(spec, opts)
@@ -111,15 +154,101 @@ func realMain(specPath string, workers int, out, format, checkpoint string, resu
 	}
 	summarize(rep, reg)
 	if rep.Interrupted {
-		if checkpoint != "" {
+		if cfg.Checkpoint != "" {
 			log.Printf("interrupted after %d/%d cells; resume with -spec %s -checkpoint %s -resume",
-				len(rep.Cells), rep.Total, specPath, checkpoint)
+				len(rep.Cells), rep.Total, cfg.SpecPath, cfg.Checkpoint)
 		} else {
 			log.Printf("interrupted after %d/%d cells; no -checkpoint, progress not recorded", len(rep.Cells), rep.Total)
 		}
 		return nil // partial aggregate is intentionally not written
 	}
-	return writeOutput(rep, out, format)
+	return writeOutput(rep, cfg.Out, cfg.Format)
+}
+
+// stopOnSignal closes the returned channel on the first SIGINT or
+// SIGTERM — finish the cells in flight, checkpoint them, exit cleanly —
+// and restores default handling so a second signal kills the process
+// the usual way.
+func stopOnSignal() <-chan struct{} {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("%s: finishing cells in flight (send again to kill)", s)
+		close(stop)
+		signal.Stop(sigs)
+	}()
+	return stop
+}
+
+// runServe hosts the distributed-sweep coordinator: serve leases until
+// every cell lands, then write the aggregate exactly as a local run
+// would.
+func runServe(cfg config, spec sweep.Spec, reg *obs.Registry) error {
+	copts := dsweep.CoordinatorOptions{
+		LeaseTTL:   cfg.LeaseTTL,
+		Checkpoint: cfg.Checkpoint,
+		Resume:     cfg.Resume,
+		Metrics:    reg,
+	}
+	if !cfg.Quiet {
+		copts.Log = os.Stderr
+	}
+	c, err := dsweep.NewCoordinator(spec, copts)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ln, err := net.Listen("tcp", cfg.Serve)
+	if err != nil {
+		return fmt.Errorf("coordinator listen: %w", err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // dies with the listener on shutdown
+	log.Printf("coordinator on %s: %d/%d cells done, waiting for workers (-join http://%s)",
+		ln.Addr(), c.Resumed(), c.Total(), ln.Addr())
+
+	rep, complete, err := c.Wait(stopOnSignal())
+	if complete {
+		// Linger briefly so workers still wait-polling /lease hear "done"
+		// instead of a connection refused; the worker that landed the last
+		// cell already learned it from the result ack.
+		time.Sleep(time.Second)
+	}
+	srv.Close()
+	if err != nil {
+		return err
+	}
+	summarize(rep, reg)
+	if !complete {
+		if cfg.Checkpoint != "" {
+			log.Printf("interrupted after %d/%d cells; resume with -serve %s -checkpoint %s -resume",
+				len(rep.Cells), rep.Total, cfg.Serve, cfg.Checkpoint)
+		} else {
+			log.Printf("interrupted after %d/%d cells; no -checkpoint, progress not recorded", len(rep.Cells), rep.Total)
+		}
+		return nil
+	}
+	return writeOutput(rep, cfg.Out, cfg.Format)
+}
+
+// runJoin runs one worker against a coordinator until the sweep is done
+// or a signal drains it.
+func runJoin(cfg config, reg *obs.Registry) error {
+	wopts := dsweep.WorkerOptions{
+		Coordinator: cfg.Join,
+		Stop:        stopOnSignal(),
+		Metrics:     reg,
+	}
+	if !cfg.Quiet {
+		wopts.Log = os.Stderr
+	}
+	stats, err := dsweep.RunWorker(wopts)
+	log.Printf("worker: %d cells computed, %d duplicate, %d stale, %d leases lost",
+		stats.Computed, stats.Duplicate, stats.Stale, stats.Lost)
+	return err
 }
 
 // summarize prints run bookkeeping to stderr: cell counts and, when

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sweep"
@@ -30,16 +33,28 @@ func TestWriteExampleRoundTrips(t *testing.T) {
 
 // TestRealMainArgErrors pins the flag-validation failures.
 func TestRealMainArgErrors(t *testing.T) {
-	if err := realMain("", 0, "", "", "", false, 0, false, true, nil); err == nil ||
+	if err := realMain(config{Quiet: true}, nil); err == nil ||
 		!strings.Contains(err.Error(), "-spec") {
 		t.Fatalf("missing -spec: got %v", err)
 	}
-	if err := realMain("x.json", 0, "", "", "", true, 0, false, true, nil); err == nil ||
+	if err := realMain(config{SpecPath: "x.json", Resume: true, Quiet: true}, nil); err == nil ||
 		!strings.Contains(err.Error(), "-checkpoint") {
 		t.Fatalf("-resume without -checkpoint: got %v", err)
 	}
-	if err := realMain(filepath.Join(t.TempDir(), "absent.json"), 0, "", "", "", false, 0, false, true, nil); err == nil {
+	if err := realMain(config{SpecPath: filepath.Join(t.TempDir(), "absent.json"), Quiet: true}, nil); err == nil {
 		t.Fatal("absent spec file: want error")
+	}
+	if err := realMain(config{Serve: ":0", Join: "http://x", Quiet: true}, nil); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("-serve with -join: got %v", err)
+	}
+	if err := realMain(config{Join: "http://x", SpecPath: "x.json", Quiet: true}, nil); err == nil ||
+		!strings.Contains(err.Error(), "drop -spec") {
+		t.Fatalf("-join with -spec: got %v", err)
+	}
+	if err := realMain(config{Serve: ":0", Quiet: true}, nil); err == nil ||
+		!strings.Contains(err.Error(), "-spec") {
+		t.Fatalf("-serve without -spec: got %v", err)
 	}
 }
 
@@ -89,6 +104,108 @@ func TestWriteOutputFormats(t *testing.T) {
 	}
 }
 
+// TestServeJoinEndToEnd drives the CLI's distributed mode in-process: a
+// -serve coordinator on a loopback port, two -join workers, and the
+// written aggregate byte-identical to a plain local run of the same
+// spec.
+func TestServeJoinEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real grid over loopback HTTP")
+	}
+	dir := t.TempDir()
+	spec := sweep.Spec{
+		Name:   "cli-dist",
+		Fields: []sweep.FieldSpec{{Kind: "peaks"}, {Kind: "ridge"}},
+		Ks:     []int{3, 5},
+		Rcs:    []float64{40},
+		Seeds:  []int64{1},
+		GridN:  10,
+		DeltaN: 10,
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	localOut := filepath.Join(dir, "local.json")
+	if err := realMain(config{SpecPath: specPath, Workers: 2, Out: localOut, Quiet: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a loopback port, release it, and hand it to -serve. The
+	// joining workers' retry budget rides out the startup gap.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	distOut := filepath.Join(dir, "dist.json")
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- realMain(config{
+			SpecPath: specPath, Serve: addr, Out: distOut,
+			Checkpoint: filepath.Join(dir, "dist.ckpt"), Quiet: true,
+		}, nil)
+	}()
+	// Wait until the coordinator answers /status before joining workers,
+	// so a fast sweep cannot finish and shut down while a worker is
+	// still backing off from a pre-listen connection failure.
+	for start := time.Now(); ; time.Sleep(10 * time.Millisecond) {
+		resp, err := http.Get("http://" + addr + "/status")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Since(start) > 30*time.Second {
+			t.Fatalf("coordinator never came up: %v", err)
+		}
+	}
+	var joins [2]chan error
+	for i := range joins {
+		joins[i] = make(chan error, 1)
+		ch := joins[i]
+		go func() {
+			ch <- realMain(config{Join: "http://" + addr, Quiet: true}, nil)
+		}()
+	}
+	for i, ch := range joins {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("worker %d: %v", i, err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("worker %d did not finish", i)
+		}
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator did not finish")
+	}
+
+	want, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("-serve/-join aggregate differs from local run")
+	}
+}
+
 // TestRealMainRunsSpec runs a tiny one-cell spec end to end through
 // realMain — load, run, write — with metrics attached, mirroring the CLI
 // path without the flag plumbing.
@@ -115,7 +232,7 @@ func TestRealMainRunsSpec(t *testing.T) {
 	}
 	outPath := filepath.Join(dir, "out.json")
 	reg := obs.NewRegistry()
-	if err := realMain(specPath, 1, outPath, "", "", false, 0, false, true, reg); err != nil {
+	if err := realMain(config{SpecPath: specPath, Workers: 1, Out: outPath, Quiet: true}, reg); err != nil {
 		t.Fatal(err)
 	}
 	var rep sweep.Report

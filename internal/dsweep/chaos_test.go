@@ -1,0 +1,350 @@
+package dsweep
+
+// The chaos harness turns the repo's fault-injection mindset onto its
+// own infrastructure: real worker *processes* (re-execs of this test
+// binary) get SIGKILLed mid-sweep, a byzantine client floods the
+// coordinator with stale/duplicate/corrupt submissions, and the
+// coordinator itself is crashed and restarted from its checkpoint — and
+// through all of it the final aggregate must stay byte-identical to a
+// plain single-process sweep.Run.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// workerEnv marks a re-exec of the test binary as a worker process.
+const workerEnv = "DSWEEP_CHAOS_WORKER_URL"
+
+// TestMain hijacks the binary when it is re-executed as a chaos worker:
+// instead of running the test suite it joins the coordinator named in
+// the environment, exactly as `cmd/sweep -join` would.
+func TestMain(m *testing.M) {
+	if url := os.Getenv(workerEnv); url != "" {
+		_, err := RunWorker(WorkerOptions{
+			Coordinator:  url,
+			ID:           fmt.Sprintf("chaos-%d", os.Getpid()),
+			PollInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// chaosSpec is the chaos grid: enough cells, each heavy enough, that
+// killing workers mid-sweep reliably leaves real work in flight.
+func chaosSpec() sweep.Spec {
+	s := sweep.Spec{
+		Name:        "chaos",
+		Fields:      []sweep.FieldSpec{{Kind: "peaks"}, {Kind: "ridge"}},
+		Ks:          []int{2, 4, 6, 8, 12},
+		Rcs:         []float64{30, 60},
+		Seeds:       []int64{1, 2},
+		GridN:       24,
+		DeltaN:      24,
+		RandomDraws: 1,
+	}
+	s.Normalize()
+	return s
+}
+
+// referenceBytes is the single-process ground truth for the grid.
+func referenceBytes(t *testing.T, spec sweep.Spec) ([]byte, []byte) {
+	t.Helper()
+	rep, err := sweep.Run(spec, sweep.RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j, c bytes.Buffer
+	if err := sweep.WriteJSON(&j, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteCSV(&c, rep); err != nil {
+		t.Fatal(err)
+	}
+	return j.Bytes(), c.Bytes()
+}
+
+// spawnWorker re-execs the test binary as a worker process against url.
+func spawnWorker(t *testing.T, url string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(), workerEnv+"="+url)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn worker: %v", err)
+	}
+	return cmd
+}
+
+// pollStatus reads /status until cond holds or the deadline passes.
+func pollStatus(t *testing.T, url string, timeout time.Duration, cond func(StatusResponse) bool) StatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var st StatusResponse
+		resp, err := http.Get(url + "/status")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+		}
+		if err == nil && cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status condition not met within %s (last: %+v, err: %v)", timeout, st, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// byzantine hammers the coordinator with every flavor of bad
+// submission and asserts each is turned away: corrupt payloads under a
+// live lease, then fabricated (content-poisoned) results for every cell
+// in the grid under bogus fencing tokens — already-done cells must
+// absorb them as duplicates, open cells must fence them out as stale,
+// and none may ever be accepted.
+func byzantine(t *testing.T, spec *sweep.Spec, url string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	post := func(path string, req, resp any) {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := client.Post(url+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("byzantine %s: %v", path, err)
+		}
+		defer r.Body.Close()
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatalf("byzantine %s: %v", path, err)
+		}
+	}
+
+	var lr LeaseResponse
+	post("/lease", LeaseRequest{Worker: "byzantine"}, &lr)
+	if lr.Status == StatusOK {
+		l := lr.Leases[0]
+		var rr ResultResponse
+		// Corrupt: a digest-mismatched payload under a live lease.
+		sub := fakeSubmission(t, spec, l.Index, l.ID, "byzantine")
+		sub.Digest = "0123456789abcdef"
+		sub.Sum = sweep.IntegritySum(sub.Digest, sub.Result)
+		post("/result", sub, &rr)
+		if rr.Status != ResultCorrupt {
+			t.Errorf("byzantine corrupt digest: got %q", rr.Status)
+		}
+		// Corrupt: a torn body (sum does not match the bytes).
+		sub = fakeSubmission(t, spec, l.Index, l.ID, "byzantine")
+		sub.Sum = "ffffffffffffffff"
+		post("/result", sub, &rr)
+		if rr.Status != ResultCorrupt {
+			t.Errorf("byzantine torn body: got %q", rr.Status)
+		}
+		// Walk away from the live lease: a real worker reclaims the cell
+		// after TTL, so the sweep must converge despite the squatting.
+	}
+
+	// Poison sweep: fabricated results for the whole grid under bogus
+	// fencing tokens. With ≥5 cells done at this point some must come
+	// back duplicate; pending/leased ones come back stale; zero land.
+	counts := map[string]int{}
+	for i := 0; i < spec.NumCells(); i++ {
+		sub := fakeSubmission(t, spec, i, int64(1<<40)+int64(i), "byzantine")
+		var rr ResultResponse
+		post("/result", sub, &rr)
+		counts[rr.Status]++
+	}
+	if counts[ResultAccepted] != 0 {
+		t.Errorf("byzantine poison accepted %d times", counts[ResultAccepted])
+	}
+	if counts[ResultDuplicate] == 0 {
+		t.Errorf("byzantine poison saw no duplicate drops (counts %v)", counts)
+	}
+	if counts[ResultStale] == 0 {
+		t.Errorf("byzantine poison saw no stale rejections (counts %v)", counts)
+	}
+}
+
+// TestChaosKillWorkersByteIdentity is the acceptance chaos run: four
+// worker processes, two SIGKILLed mid-sweep, a byzantine client mixed
+// in, replacements joining late — and the aggregate byte-identical to
+// the single-process reference, twice over (JSON and CSV).
+func TestChaosKillWorkersByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and runs a real grid")
+	}
+	spec := chaosSpec()
+	wantJSON, wantCSV := referenceBytes(t, spec)
+
+	c, err := NewCoordinator(spec, CoordinatorOptions{
+		LeaseTTL:   400 * time.Millisecond,
+		Checkpoint: filepath.Join(t.TempDir(), "chaos.ckpt"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	workers := make([]*exec.Cmd, 4)
+	for i := range workers {
+		workers[i] = spawnWorker(t, srv.URL)
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.Process != nil {
+				_ = w.Process.Kill()
+			}
+			_ = w.Wait()
+		}
+	}()
+
+	// Let the fleet make some progress, then SIGKILL half of it while
+	// cells are in flight.
+	pollStatus(t, srv.URL, 30*time.Second, func(st StatusResponse) bool { return st.Done >= 5 })
+	for _, i := range []int{0, 2} {
+		if err := workers[i].Process.Kill(); err != nil {
+			t.Fatalf("SIGKILL worker %d: %v", i, err)
+		}
+	}
+
+	// The byzantine client joins mid-recovery.
+	byzantine(t, &spec, srv.URL)
+
+	// Late replacements join the survivors.
+	workers = append(workers, spawnWorker(t, srv.URL), spawnWorker(t, srv.URL))
+
+	rep, complete, err := c.Wait(timeoutChan(t, 120*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatal("sweep did not complete")
+	}
+	var gotJSON, gotCSV bytes.Buffer
+	if err := sweep.WriteJSON(&gotJSON, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteCSV(&gotCSV, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON.Bytes(), wantJSON) {
+		t.Error("chaos JSON aggregate differs from single-process reference")
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV) {
+		t.Error("chaos CSV aggregate differs from single-process reference")
+	}
+}
+
+// TestChaosCoordinatorCrashRestart kills the coordinator mid-sweep —
+// listener and all — restarts it from its own checkpoint on the same
+// address, and requires the resumed sweep to land on the reference
+// bytes.
+func TestChaosCoordinatorCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and runs a real grid")
+	}
+	spec := chaosSpec()
+	wantJSON, _ := referenceBytes(t, spec)
+	ckpt := filepath.Join(t.TempDir(), "coord-crash.ckpt")
+
+	// Pin a port up front so the restarted coordinator is reachable at
+	// the same URL the workers hold.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	url := "http://" + addr
+
+	c1, err := NewCoordinator(spec, CoordinatorOptions{LeaseTTL: 400 * time.Millisecond, Checkpoint: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := &http.Server{Handler: c1.Handler()}
+	go srv1.Serve(ln) //nolint:errcheck // dies with the listener
+
+	workers := make([]*exec.Cmd, 3)
+	for i := range workers {
+		workers[i] = spawnWorker(t, url)
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.Process != nil {
+				_ = w.Process.Kill()
+			}
+			_ = w.Wait()
+		}
+	}()
+
+	// Crash the coordinator once real progress exists.
+	pollStatus(t, url, 30*time.Second, func(st StatusResponse) bool { return st.Done >= 5 })
+	srv1.Close()
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same address from the checkpoint. Workers ride out
+	// the outage on their retry budget.
+	c2, err := NewCoordinator(spec, CoordinatorOptions{
+		LeaseTTL: 400 * time.Millisecond, Checkpoint: ckpt, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Resumed() < 5 {
+		t.Fatalf("restarted coordinator resumed %d cells, want ≥ 5", c2.Resumed())
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	srv2 := &http.Server{Handler: c2.Handler()}
+	go srv2.Serve(ln2) //nolint:errcheck
+	defer srv2.Close()
+
+	rep, complete, err := c2.Wait(timeoutChan(t, 120*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatal("resumed sweep did not complete")
+	}
+	var got bytes.Buffer
+	if err := sweep.WriteJSON(&got, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), wantJSON) {
+		t.Error("crash-restart aggregate differs from single-process reference")
+	}
+}
+
+// timeoutChan closes the returned channel after d, failing the test as
+// a deadline backstop so a wedged sweep cannot hang the suite.
+func timeoutChan(t *testing.T, d time.Duration) <-chan struct{} {
+	t.Helper()
+	ch := make(chan struct{})
+	timer := time.AfterFunc(d, func() { close(ch) })
+	t.Cleanup(func() { timer.Stop() })
+	return ch
+}

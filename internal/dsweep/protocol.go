@@ -1,0 +1,153 @@
+// Package dsweep distributes a scenario sweep across processes and
+// machines: a coordinator owns the Spec and hands out per-cell leases
+// over stdlib HTTP; workers pull leases, run cells through the exact
+// single-process path (sweep.RunCell), and stream results back. The
+// design goal is fault tolerance without sacrificing the sweep engine's
+// determinism contract — the final aggregate is byte-identical to a
+// single-process run no matter how many workers join, die, hang, or
+// misbehave along the way.
+//
+// # Failure model
+//
+// Workers are fail-stop plus accident-prone, not adversarial: a worker
+// may crash (SIGKILL), hang, disconnect, or submit stale, duplicate or
+// corrupted payloads, but it is not assumed to forge a digest-valid
+// wrong result. The defenses layer accordingly:
+//
+//   - Leases carry a deadline and a fencing token (the lease ID). A
+//     worker that stops heartbeating loses its lease; the cell is
+//     re-queued and granted to the next worker that asks.
+//   - Result submissions are fenced: only the holder of the cell's
+//     current live lease may land a result. A submission under an
+//     expired or superseded lease is rejected as stale — the re-leased
+//     worker's result (bit-identical anyway, by the determinism
+//     contract) is the one that counts.
+//   - Submissions for cells already done are acknowledged and dropped:
+//     duplicates are idempotent by construction because the cell digest
+//     keys the result table.
+//   - Every submission carries sweep.IntegritySum over the digest and
+//     the marshaled result; a payload that fails the sum, names the
+//     wrong digest, or disagrees with its own echoed coordinates is
+//     rejected as corrupt.
+//
+// The coordinator persists accepted results through the sweep
+// checkpoint machinery before acknowledging them, so the coordinator
+// process itself may crash and restart with -resume and converge to the
+// same bytes.
+package dsweep
+
+import "encoding/json"
+
+// SpecResponse is GET /spec: the grid a joining worker must run. The
+// worker re-validates the spec locally and checks SpecDigest so a
+// coordinator/worker version skew fails loudly instead of submitting
+// results for the wrong grid.
+type SpecResponse struct {
+	Name       string          `json:"name"`
+	SpecDigest string          `json:"spec_digest"`
+	Spec       json.RawMessage `json:"spec"`
+}
+
+// LeaseRequest is POST /lease: a worker asking for up to Max cells.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	// Max caps the number of leases granted; 0 means 1.
+	Max int `json:"max,omitempty"`
+}
+
+// Lease is one granted cell. ID is the fencing token: every grant —
+// including a re-grant of the same cell after expiry — gets a fresh ID,
+// and only the current ID can heartbeat or land a result.
+type Lease struct {
+	ID     int64  `json:"id"`
+	Index  int    `json:"index"`
+	Digest string `json:"digest"`
+	// TTLMillis is the lease duration; the worker must heartbeat well
+	// inside it (TTL/3 is the convention) or lose the cell.
+	TTLMillis int64 `json:"ttl_ms"`
+}
+
+// Lease-response statuses.
+const (
+	// StatusOK carries at least one lease.
+	StatusOK = "ok"
+	// StatusWait means every remaining cell is leased to someone else:
+	// poll again after a short sleep.
+	StatusWait = "wait"
+	// StatusDone means the sweep is complete; the worker can exit.
+	StatusDone = "done"
+)
+
+// LeaseResponse answers POST /lease.
+type LeaseResponse struct {
+	Status string  `json:"status"`
+	Leases []Lease `json:"leases,omitempty"`
+	Done   int     `json:"done"`
+	Total  int     `json:"total"`
+}
+
+// HeartbeatRequest is POST /heartbeat: the worker proving liveness for
+// the leases it still holds.
+type HeartbeatRequest struct {
+	Worker   string  `json:"worker"`
+	LeaseIDs []int64 `json:"lease_ids"`
+}
+
+// HeartbeatResponse lists the leases the coordinator no longer honors —
+// expired and possibly re-granted. The worker abandons those cells (it
+// may finish computing, but must not expect the result to land).
+type HeartbeatResponse struct {
+	Lost []int64 `json:"lost,omitempty"`
+}
+
+// ResultRequest is POST /result: one finished cell. Result is the
+// worker's marshaled sweep.Result; Sum is sweep.IntegritySum(Digest,
+// Result) computed over exactly those bytes.
+type ResultRequest struct {
+	Worker  string          `json:"worker"`
+	LeaseID int64           `json:"lease_id"`
+	Index   int             `json:"index"`
+	Digest  string          `json:"digest"`
+	Result  json.RawMessage `json:"result"`
+	Sum     string          `json:"sum"`
+}
+
+// Result-response statuses.
+const (
+	// ResultAccepted: the cell is now durably done.
+	ResultAccepted = "accepted"
+	// ResultDuplicate: the cell was already done; the submission was
+	// dropped idempotently. Not an error for the worker.
+	ResultDuplicate = "duplicate"
+	// ResultStale: the lease is not the cell's current live lease
+	// (expired, superseded, or never granted). The submission was
+	// discarded; the cell belongs to someone else now.
+	ResultStale = "stale"
+	// ResultCorrupt: the payload failed integrity validation — sum
+	// mismatch, digest mismatch, or inconsistent echoed coordinates.
+	ResultCorrupt = "corrupt"
+)
+
+// ResultResponse answers POST /result. Done piggybacks sweep completion
+// on the ack so the worker that lands the last cell exits without
+// another /lease round-trip — the coordinator may stop listening soon
+// after the sweep completes.
+type ResultResponse struct {
+	Status string `json:"status"`
+	Done   bool   `json:"done,omitempty"`
+}
+
+// StatusResponse is GET /status: coordinator-side progress, for humans,
+// tests and the CI chaos harness.
+type StatusResponse struct {
+	Name       string `json:"name"`
+	SpecDigest string `json:"spec_digest"`
+	Total      int    `json:"total"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Leased     int    `json:"leased"`
+	Pending    int    `json:"pending"`
+	// Workers counts workers seen within the liveness window (3×TTL).
+	Workers  int  `json:"workers"`
+	Complete bool `json:"complete"`
+}

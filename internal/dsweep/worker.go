@@ -1,0 +1,366 @@
+package dsweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// WorkerOptions configures one worker process.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:7787".
+	Coordinator string
+	// ID names the worker in leases and logs; "" derives host-pid.
+	ID string
+	// Stop, when non-nil, drains the worker when closed: the in-flight
+	// cell finishes and its result is submitted, then Run returns.
+	// cmd/sweep wires SIGINT and SIGTERM here.
+	Stop <-chan struct{}
+	// Metrics, when non-nil, receives the worker-side counters.
+	Metrics *obs.Registry
+	// Log, when non-nil, receives per-cell progress lines.
+	Log io.Writer
+	// PollInterval is the sleep between lease polls when every cell is
+	// leased elsewhere; 0 defaults to 250ms.
+	PollInterval time.Duration
+	// Client overrides the HTTP client (tests); nil uses a 30s-timeout
+	// default.
+	Client *http.Client
+}
+
+// WorkerStats summarizes one worker run.
+type WorkerStats struct {
+	// Computed counts cells run and accepted; Duplicate and Stale count
+	// submissions the coordinator dropped or rejected; Lost counts
+	// leases that expired under us mid-cell.
+	Computed  int
+	Duplicate int
+	Stale     int
+	Lost      int
+}
+
+// workerMetrics is the worker's observability surface.
+type workerMetrics struct {
+	cells     *obs.Counter // dsweep_worker_cells_total
+	httpRetry *obs.Counter // dsweep_worker_http_retries_total
+	lost      *obs.Counter // dsweep_worker_leases_lost_total
+}
+
+func newWorkerMetrics(reg *obs.Registry) workerMetrics {
+	if reg == nil {
+		return workerMetrics{}
+	}
+	return workerMetrics{
+		cells:     reg.Counter("dsweep_worker_cells_total"),
+		httpRetry: reg.Counter("dsweep_worker_http_retries_total"),
+		lost:      reg.Counter("dsweep_worker_leases_lost_total"),
+	}
+}
+
+// worker is the run state behind RunWorker.
+type worker struct {
+	base   string
+	id     string
+	client *http.Client
+	stop   <-chan struct{}
+	logw   io.Writer
+	reg    *obs.Registry
+	met    workerMetrics
+	poll   time.Duration
+	// rng drives backoff jitter only; the mutex exists because the
+	// heartbeat goroutine shares the retry path with the main loop.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	spec  sweep.Spec
+	cells []sweep.Cell
+	stats WorkerStats
+	// sweepDone is set when a result ack reports the sweep complete, so
+	// the worker can exit without racing the coordinator's shutdown on a
+	// final /lease poll.
+	sweepDone bool
+}
+
+// RunWorker joins a coordinator and runs leased cells until the sweep is
+// done, Stop closes, or the coordinator becomes unreachable past the
+// retry budget. Transient transport errors (connection refused/reset,
+// 5xx) are retried with exponential backoff and jitter; 4xx responses
+// and protocol violations are permanent.
+func RunWorker(opts WorkerOptions) (WorkerStats, error) {
+	w := &worker{
+		base:   strings.TrimRight(opts.Coordinator, "/"),
+		id:     opts.ID,
+		client: opts.Client,
+		stop:   opts.Stop,
+		logw:   opts.Log,
+		reg:    opts.Metrics,
+		met:    newWorkerMetrics(opts.Metrics),
+		poll:   opts.PollInterval,
+	}
+	if w.base == "" {
+		return WorkerStats{}, fmt.Errorf("dsweep: worker needs a coordinator URL")
+	}
+	if w.id == "" {
+		host, _ := os.Hostname()
+		w.id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if w.client == nil {
+		w.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if w.logw == nil {
+		w.logw = io.Discard
+	}
+	if w.poll <= 0 {
+		w.poll = 250 * time.Millisecond
+	}
+	// The jitter stream is seeded from the worker ID: reproducible per
+	// worker, decorrelated across workers, and irrelevant to results.
+	h := fnv.New64a()
+	io.WriteString(h, w.id)
+	w.rng = rand.New(rand.NewSource(int64(h.Sum64())))
+
+	if err := w.fetchSpec(); err != nil {
+		return w.stats, err
+	}
+	return w.stats, w.loop()
+}
+
+// fetchSpec pulls and validates the grid, pinning the coordinator's spec
+// digest against a locally recomputed one.
+func (w *worker) fetchSpec() error {
+	var sr SpecResponse
+	if err := w.getJSON("/spec", &sr); err != nil {
+		return fmt.Errorf("dsweep: fetch spec: %w", err)
+	}
+	spec, err := sweep.LoadSpec(bytes.NewReader(sr.Spec))
+	if err != nil {
+		return fmt.Errorf("dsweep: coordinator spec invalid: %w", err)
+	}
+	if got := spec.SpecDigest(); got != sr.SpecDigest {
+		return fmt.Errorf("dsweep: spec digest mismatch: coordinator says %s, local build computes %s (version skew?)",
+			sr.SpecDigest, got)
+	}
+	w.spec = spec
+	w.cells = spec.Cells()
+	return nil
+}
+
+// loop is the lease-run-submit cycle.
+func (w *worker) loop() error {
+	for {
+		if w.stopping() {
+			fmt.Fprintf(w.logw, "dsweep: worker %s draining: stop requested\n", w.id)
+			return nil
+		}
+		var lr LeaseResponse
+		if err := w.postJSON("/lease", LeaseRequest{Worker: w.id}, &lr); err != nil {
+			return fmt.Errorf("dsweep: lease: %w", err)
+		}
+		switch lr.Status {
+		case StatusDone:
+			fmt.Fprintf(w.logw, "dsweep: worker %s done: sweep complete (%d/%d)\n", w.id, lr.Done, lr.Total)
+			return nil
+		case StatusWait:
+			w.sleep(w.poll)
+			continue
+		case StatusOK:
+		default:
+			return fmt.Errorf("dsweep: unknown lease status %q", lr.Status)
+		}
+		for _, lease := range lr.Leases {
+			if err := w.runLease(lease); err != nil {
+				return err
+			}
+		}
+		if w.sweepDone {
+			fmt.Fprintf(w.logw, "dsweep: worker %s done: sweep completed with our last submission\n", w.id)
+			return nil
+		}
+	}
+}
+
+// runLease executes one leased cell with a heartbeat goroutine keeping
+// the lease alive, then submits the result.
+func (w *worker) runLease(lease Lease) error {
+	if lease.Index < 0 || lease.Index >= len(w.cells) {
+		return fmt.Errorf("dsweep: lease for cell %d outside grid of %d", lease.Index, len(w.cells))
+	}
+	ttl := time.Duration(lease.TTLMillis) * time.Millisecond
+	hbEvery := ttl / 3
+	if hbEvery < 10*time.Millisecond {
+		hbEvery = 10 * time.Millisecond
+	}
+	hbStop := make(chan struct{})
+	lost := make(chan struct{}, 1)
+	go func() {
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				var hr HeartbeatResponse
+				if err := w.postJSON("/heartbeat", HeartbeatRequest{Worker: w.id, LeaseIDs: []int64{lease.ID}}, &hr); err != nil {
+					continue // transient: the lease may still survive to the next beat
+				}
+				for _, id := range hr.Lost {
+					if id == lease.ID {
+						select {
+						case lost <- struct{}{}:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	res := sweep.RunCell(&w.spec, w.cells[lease.Index], w.reg)
+	close(hbStop)
+	w.met.cells.Inc()
+
+	select {
+	case <-lost:
+		// The lease expired under us (we hung, or the network did). The
+		// cell belongs to someone else; submitting would be rejected as
+		// stale anyway, so don't bother.
+		w.stats.Lost++
+		w.met.lost.Inc()
+		fmt.Fprintf(w.logw, "dsweep: worker %s lost lease %d on cell %d mid-run; dropping result\n",
+			w.id, lease.ID, lease.Index)
+		return nil
+	default:
+	}
+
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("dsweep: marshal result: %w", err)
+	}
+	req := ResultRequest{
+		Worker: w.id, LeaseID: lease.ID, Index: lease.Index, Digest: lease.Digest,
+		Result: raw, Sum: sweep.IntegritySum(lease.Digest, raw),
+	}
+	var rr ResultResponse
+	if err := w.postJSON("/result", req, &rr); err != nil {
+		return fmt.Errorf("dsweep: submit cell %d: %w", lease.Index, err)
+	}
+	if rr.Done {
+		w.sweepDone = true
+	}
+	switch rr.Status {
+	case ResultAccepted:
+		w.stats.Computed++
+		fmt.Fprintf(w.logw, "dsweep: worker %s cell %d/%d δ=%.2f\n", w.id, lease.Index+1, len(w.cells), res.DeltaFRA)
+	case ResultDuplicate:
+		w.stats.Duplicate++
+	case ResultStale:
+		w.stats.Stale++
+		w.met.lost.Inc()
+	default:
+		return fmt.Errorf("dsweep: cell %d rejected as %q", lease.Index, rr.Status)
+	}
+	return nil
+}
+
+// stopping reports whether Stop has closed.
+func (w *worker) stopping() bool {
+	if w.stop == nil {
+		return false
+	}
+	select {
+	case <-w.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d plus up to 25% jitter, returning early on Stop.
+func (w *worker) sleep(d time.Duration) {
+	w.rngMu.Lock()
+	jitter := time.Duration(w.rng.Int63n(int64(d)/4 + 1))
+	w.rngMu.Unlock()
+	d += jitter
+	if w.stop == nil {
+		time.Sleep(d)
+		return
+	}
+	select {
+	case <-time.After(d):
+	case <-w.stop:
+	}
+}
+
+// getJSON GETs path with the shared retry policy.
+func (w *worker) getJSON(path string, resp any) error {
+	return w.do(func() (*http.Response, error) {
+		return w.client.Get(w.base + path)
+	}, resp)
+}
+
+// postJSON POSTs a JSON body to path with the shared retry policy.
+func (w *worker) postJSON(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return w.do(func() (*http.Response, error) {
+		return w.client.Post(w.base+path, "application/json", bytes.NewReader(body))
+	}, resp)
+}
+
+// do runs one request with exponential backoff plus jitter on transient
+// failures: transport errors and 5xx responses retry, anything else is
+// permanent. The budget (8 attempts, 50ms..3.2s backoff) rides out
+// coordinator restarts of a few seconds.
+func (w *worker) do(send func() (*http.Response, error), out any) error {
+	const attempts = 8
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			w.met.httpRetry.Inc()
+			w.sleep(backoff)
+			backoff *= 2
+			if w.stopping() {
+				break
+			}
+		}
+		resp, err := send()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = fmt.Errorf("coordinator returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("coordinator returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(body, out)
+	}
+	return fmt.Errorf("gave up after %d attempts: %w", attempts, lastErr)
+}

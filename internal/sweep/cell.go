@@ -65,12 +65,15 @@ type MobileResult struct {
 	Rebuilds        int     `json:"rebuilds"`
 }
 
-// runCell executes one cell end to end: build the field, run FRA and its
+// RunCell executes one cell end to end: build the field, run FRA and its
 // random baseline on the t = 0 reference slice, and (when the spec has a
 // mobile phase) run the CMA swarm under the cell's fault profile. A panic
 // anywhere inside is converted into the cell's Err — per-cell isolation —
-// so one degenerate scenario cannot abort a thousand-cell batch.
-func runCell(s *Spec, c Cell, reg *obs.Registry) (res Result) {
+// so one degenerate scenario cannot abort a thousand-cell batch. It is
+// exported for internal/dsweep, whose workers run leased cells through
+// exactly this path so a distributed sweep's per-cell results are
+// bit-identical to a local run's.
+func RunCell(s *Spec, c Cell, reg *obs.Registry) (res Result) {
 	res = Result{
 		Index: c.Index, Digest: s.Digest(c),
 		Field: c.Field.Label(), K: c.K, Rc: c.Rc, FaultRate: c.Fault.Rate, Seed: c.Seed,

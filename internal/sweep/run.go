@@ -114,9 +114,23 @@ func Run(spec Spec, opts RunOptions) (*Report, error) {
 
 	var prior map[string]Result
 	if opts.Checkpoint != "" && opts.Resume {
-		var err error
-		if prior, err = readCheckpoint(opts.Checkpoint); err != nil {
+		var (
+			header string
+			err    error
+		)
+		if prior, header, err = ReadCheckpoint(opts.Checkpoint, logw); err != nil {
 			return nil, err
+		}
+		// A header from a different spec means the file's cells belong to
+		// another grid: mixing them would silently splice two experiments,
+		// so resume refuses outright. Headerless files (pre-header format)
+		// fall back to per-cell digest matching with a warning.
+		if header != "" && header != spec.SpecDigest() {
+			return nil, fmt.Errorf("sweep: checkpoint %s was written by a different spec (digest %s, want %s); refusing resume",
+				opts.Checkpoint, header, spec.SpecDigest())
+		}
+		if header == "" && len(prior) > 0 {
+			fmt.Fprintf(logw, "sweep: checkpoint %s has no spec-digest header; trusting per-cell digests\n", opts.Checkpoint)
 		}
 	}
 
@@ -142,12 +156,12 @@ func Run(spec Spec, opts RunOptions) (*Report, error) {
 		rep.Interrupted = true
 	}
 
-	var ckpt *checkpointWriter
+	var ckpt *CheckpointWriter
 	if opts.Checkpoint != "" {
 		var err error
 		// Replayed cells are not re-recorded: with Resume the file is
 		// opened for append and their entries are already in it.
-		if ckpt, err = newCheckpointWriter(opts.Checkpoint, opts.Resume); err != nil {
+		if ckpt, err = NewCheckpointWriter(opts.Checkpoint, spec.SpecDigest(), opts.Resume); err != nil {
 			return nil, err
 		}
 	}
@@ -197,7 +211,7 @@ func Run(spec Spec, opts RunOptions) (*Report, error) {
 			met.started.Inc()
 			met.busy.Add(1)
 			t := timeCell()
-			r := runCell(&spec, cells[i], opts.Metrics)
+			r := RunCell(&spec, cells[i], opts.Metrics)
 			t.Stop()
 			met.busy.Add(-1)
 			met.completed.Inc()
@@ -207,7 +221,7 @@ func Run(spec Spec, opts RunOptions) (*Report, error) {
 			results[i] = r
 			done[i] = true
 			if ckpt != nil {
-				if err := ckpt.append(r); err != nil {
+				if err := ckpt.Append(r); err != nil {
 					ckptErr.CompareAndSwap(nil, ckptFailure{err})
 					return
 				}
@@ -231,12 +245,12 @@ func Run(spec Spec, opts RunOptions) (*Report, error) {
 
 	if f, ok := ckptErr.Load().(ckptFailure); ok {
 		if ckpt != nil {
-			_ = ckpt.close()
+			_ = ckpt.Close()
 		}
 		return nil, f.err
 	}
 	if ckpt != nil {
-		if err := ckpt.close(); err != nil {
+		if err := ckpt.Close(); err != nil {
 			return nil, fmt.Errorf("sweep: close checkpoint: %w", err)
 		}
 	}
@@ -254,4 +268,23 @@ func Run(spec Spec, opts RunOptions) (*Report, error) {
 	}
 	rep.Computed = len(rep.Cells) - rep.Resumed
 	return rep, nil
+}
+
+// NewReport assembles a Report from per-cell results in cell-index order,
+// skipping indices whose done flag is false. It is the aggregation step
+// shared by Run and the distributed coordinator: both feed it the same
+// deterministic per-cell results, which is why a distributed sweep's
+// JSON/CSV output is byte-identical to a local run's.
+func NewReport(spec *Spec, results []Result, done []bool) *Report {
+	rep := &Report{Name: spec.Name, Total: spec.NumCells()}
+	for i := range results {
+		if !done[i] {
+			continue
+		}
+		rep.Cells = append(rep.Cells, results[i])
+		if results[i].Err != "" {
+			rep.Failed++
+		}
+	}
+	return rep
 }

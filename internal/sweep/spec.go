@@ -256,6 +256,23 @@ func (s *Spec) Digest(c Cell) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// SpecDigest is a stable identity for the whole sweep: the FNV-1a 64
+// fold of every cell digest in enumeration order plus the grid size. Two
+// specs share a SpecDigest exactly when they describe the same cells in
+// the same order, so a checkpoint or a distributed worker stamped with
+// it can refuse to mix results across different grids. Like the cell
+// digest it ignores the spec name and anything else that cannot change
+// results.
+func (s *Spec) SpecDigest() string {
+	h := fnv.New64a()
+	for _, c := range s.Cells() {
+		io.WriteString(h, s.Digest(c))
+		h.Write([]byte{';'})
+	}
+	fmt.Fprintf(h, "n=%d", s.NumCells())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // LoadSpec parses a normalized, validated Spec from JSON. Unknown fields
 // are rejected so a typo'd knob fails loudly instead of silently sweeping
 // the wrong grid.

@@ -198,6 +198,91 @@ func TestCheckpointTornLine(t *testing.T) {
 	}
 }
 
+// TestResumeSpecMismatch: a checkpoint written by one spec must be
+// refused when -resume is attempted against a different spec, instead
+// of silently mixing grids via digest misses.
+func TestResumeSpecMismatch(t *testing.T) {
+	spec := hundredCellSpec()
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, err := Run(spec, RunOptions{Workers: 2, Checkpoint: ckpt, MaxCells: 10}); err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+
+	changed := spec
+	changed.DeltaN = 24
+	changed.Normalize()
+	_, err := Run(changed, RunOptions{Checkpoint: ckpt, Resume: true})
+	if err == nil {
+		t.Fatal("resume against a mismatched spec succeeded")
+	}
+	if !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("unhelpful refusal message: %v", err)
+	}
+
+	// The matching spec still resumes fine afterwards: refusal must not
+	// have clobbered the checkpoint.
+	resumed, err := Run(spec, RunOptions{Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatalf("resume with matching spec: %v", err)
+	}
+	if resumed.Resumed != 10 {
+		t.Fatalf("resumed=%d, want 10", resumed.Resumed)
+	}
+}
+
+// TestCheckpointMidFileCorruption flips bytes in the middle of a
+// checkpoint — a corrupted payload, a sum mismatch, and an unparsable
+// line — and requires resume to skip exactly those cells with logged
+// warnings while the aggregate stays byte-identical to the clean run.
+func TestCheckpointMidFileCorruption(t *testing.T) {
+	spec := hundredCellSpec()
+	full, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	want := renderJSON(t, full)
+
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if _, err := Run(spec, RunOptions{Workers: 2, Checkpoint: ckpt, MaxCells: 20}); err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 21 { // header + 20 cells
+		t.Fatalf("checkpoint has %d lines, want 21", len(lines))
+	}
+	// Line 5: perturb the result payload bytes (sum now mismatches).
+	lines[5] = strings.Replace(lines[5], `"result":{`, `"result":{ `, 1)
+	// Line 9: truncate mid-line (unparsable, but not the final line).
+	lines[9] = lines[9][:len(lines[9])/2]
+	// Line 13: rewrite the sum itself.
+	lines[13] = strings.Replace(lines[13], `"sum":"`, `"sum":"0`, 1)
+	if err := os.WriteFile(ckpt, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	resumed, err := Run(spec, RunOptions{Workers: 4, Checkpoint: ckpt, Resume: true, Log: &log})
+	if err != nil {
+		t.Fatalf("resume over corrupted checkpoint: %v", err)
+	}
+	if resumed.Resumed != 17 || resumed.Computed != 83 {
+		t.Fatalf("resumed=%d computed=%d, want 17/83", resumed.Resumed, resumed.Computed)
+	}
+	if got := renderJSON(t, resumed); !bytes.Equal(got, want) {
+		t.Fatal("resume over corrupted checkpoint is not byte-identical to clean run")
+	}
+	warns := log.String()
+	for _, frag := range []string{"integrity sum mismatch", "unparsable"} {
+		if !strings.Contains(warns, frag) {
+			t.Errorf("resume log missing %q warning:\n%s", frag, warns)
+		}
+	}
+}
+
 // TestDigestInvalidation: editing a knob that changes results must orphan
 // the old checkpoint entries; editing nothing must not.
 func TestDigestInvalidation(t *testing.T) {
@@ -232,13 +317,13 @@ func TestDigestInvalidation(t *testing.T) {
 func TestCellFailureIsolation(t *testing.T) {
 	spec := hundredCellSpec()
 	bad := Cell{Field: FieldSpec{Kind: "volcano"}, K: 4, Rc: 30, Seed: 1}
-	r := runCell(&spec, bad, nil)
+	r := RunCell(&spec, bad, nil)
 	if r.Err == "" {
 		t.Fatal("unknown field kind did not fail the cell")
 	}
 	broken := spec
 	broken.GridN = -1 // bypasses Normalize: FRA must reject it
-	r = runCell(&broken, spec.Cells()[0], nil)
+	r = RunCell(&broken, spec.Cells()[0], nil)
 	if r.Err == "" {
 		t.Fatal("invalid GridN did not fail the cell")
 	}
