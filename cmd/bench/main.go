@@ -37,6 +37,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mobile"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 )
 
 // Result is one benchmark scenario's measurement.
@@ -78,7 +79,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare two report files: bench -compare base.json pr.json")
 		tol      = flag.Float64("tol", 0.15, "allowed ns/op regression fraction in -compare mode")
 		allocTol = flag.Float64("alloctol", 0.10, "allowed allocs/bytes per-op regression fraction in -compare mode")
-		gate     = flag.String("gate", "fra_k500,step_large_n", "comma-separated scenarios that fail -compare on regression")
+		gate     = flag.String("gate", "fra_k500,step_large_n,lloyd_k500", "comma-separated scenarios that fail -compare on regression")
 	)
 	flag.Parse()
 
@@ -187,15 +188,16 @@ type scenario struct {
 	bench    func(b *testing.B)
 }
 
-// scenarios returns the canonical suite: the two FRA placements the CI
-// gate watches, the n=2000 engine step, one OSTD simulation round, and
-// the 100k-node swarm slot that exists to keep steady-state stepping
-// allocation-free at scale.
+// scenarios returns the canonical suite: the two FRA placements and the
+// Lloyd placement the CI gate watches, the n=2000 engine step, one OSTD
+// simulation round, and the 100k-node swarm slot that exists to keep
+// steady-state stepping allocation-free at scale.
 func scenarios(forest *field.Forest) []scenario {
 	ref := forest.Reference()
 	return []scenario{
 		{"fra_k100", 5, benchFRA(ref, 100)},
 		{"fra_k500", 3, benchFRA(ref, 500)},
+		{"lloyd_k500", 3, benchPlacement(ref, "lloyd", 500)},
 		{"step_large_n", 5, benchStep(forest, randomLayout(forest.Bounds(), 2000, 17), nil)},
 		{"ostd_round", 5, benchStep(forest, field.GridLayout(forest.Bounds(), 100), nil)},
 		{"step_100k", 2, bench100k()},
@@ -223,6 +225,23 @@ func benchFRA(ref field.Field, k int) func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.FRA(ref, core.FRAOptions{K: k, Rc: 10, GridN: 100, AnchorCorners: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchPlacement measures one full run of a registry placement strategy
+// at node count k, at the same Rc/lattice setting as benchFRA.
+func benchPlacement(ref field.Field, name string, k int) func(b *testing.B) {
+	return func(b *testing.B) {
+		placer, err := strategy.LookupPlacement(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := placer.Place(ref, strategy.PlaceOptions{K: k, Rc: 10, GridN: 100, Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	evalall           # quick profile (coarser lattices, fewer k points)
-//	evalall -full     # the paper's full resolution (slower)
+//	evalall                  # quick profile (coarser lattices, fewer k points)
+//	evalall -full            # the paper's full resolution (slower)
+//	evalall -strategy lloyd  # swap a registry strategy into Figs. 7 and 10
 //
 // -cpuprofile and -memprofile write pprof profiles of the run, and the
 // shared observability flags (-metrics-json, -metrics-prom, -pprof,
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 	"repro/internal/sweep"
 )
 
@@ -37,6 +40,8 @@ func main() {
 
 	full := flag.Bool("full", false, "run at the paper's full resolution")
 	ext := flag.Bool("ext", false, "also run the extension experiments (network cost, CMA vs centralized)")
+	strat := flag.String("strategy", "fra",
+		"strategy for the Fig. 7 placement and Fig. 10 movement ("+strings.Join(strategy.PlacementNames(), ", ")+")")
 	reg := obs.NewRegistry()
 	run := obscli.New(reg)
 	run.RegisterFlags(flag.CommandLine)
@@ -45,7 +50,11 @@ func main() {
 	if err := run.Start(); err != nil {
 		log.Fatal(err)
 	}
-	err := realMain(*full, *ext, reg)
+	if _, err := strategy.LookupPlacement(*strat); err != nil {
+		run.Close()
+		log.Fatalf("bad -strategy: %v", err)
+	}
+	err := realMain(*full, *ext, *strat, reg)
 	// Close before exiting so profiles and metric exports are flushed and
 	// closed on the error path too; its own failure is still reported.
 	if cerr := run.Close(); err == nil {
@@ -56,7 +65,7 @@ func main() {
 	}
 }
 
-func realMain(full, ext bool, reg *obs.Registry) error {
+func realMain(full, ext bool, strat string, reg *obs.Registry) error {
 	gridN, deltaN, slots := 50, 50, 30
 	ks := []int{1, 10, 25, 50, 75, 100, 125, 150, 200}
 	if full {
@@ -80,7 +89,7 @@ func realMain(full, ext bool, reg *obs.Registry) error {
 		return err
 	}
 
-	fmt.Println("\n=== Fig. 7: δ vs k, FRA vs random deployment ===")
+	fmt.Printf("\n=== Fig. 7: δ vs k, %s vs random deployment ===\n", strings.ToUpper(strat))
 	// The δ-versus-k sweep rides the scenario-sweep engine: a single-field,
 	// single-rc, fault-free grid over the paper's k values. The engine's
 	// cell runner mirrors eval.DeltaVsK's per-k computation, so the rows —
@@ -92,6 +101,7 @@ func realMain(full, ext bool, reg *obs.Registry) error {
 		Fields:      []sweep.FieldSpec{{Kind: "forest"}},
 		Ks:          ks,
 		Rcs:         []float64{10},
+		Strategies:  []string{strat},
 		GridN:       gridN,
 		DeltaN:      deltaN,
 		RandomDraws: 5,
@@ -105,9 +115,12 @@ func realMain(full, ext bool, reg *obs.Registry) error {
 		return err
 	}
 
-	fmt.Println("\n=== Fig. 10: δ vs time, 100 mobile nodes with CMA ===")
+	mv := strategy.MovementFor(strat)
+	mvLabel := strings.ToUpper(mv.Name())
+	fmt.Printf("\n=== Fig. 10: δ vs time, 100 mobile nodes with %s ===\n", mvLabel)
 	simOpts := sim.DefaultOptions()
 	simOpts.Metrics = reg
+	simOpts.NewController = mv.NewController
 	w, err := sim.NewWorld(forest, field.GridLayout(forest.Bounds(), 100), simOpts)
 	if err != nil {
 		return err
@@ -120,9 +133,9 @@ func realMain(full, ext bool, reg *obs.Registry) error {
 		return err
 	}
 	if conv, ok := eval.ConvergenceTime(tRows, 0.1); ok {
-		fmt.Printf("CMA converged at t=%.0f min\n", conv)
+		fmt.Printf("%s converged at t=%.0f min\n", mvLabel, conv)
 	} else {
-		fmt.Println("CMA not converged within the run")
+		fmt.Printf("%s not converged within the run\n", mvLabel)
 	}
 
 	// The paper's final comparison: converged CMA δ vs FRA δ at k=100.
@@ -138,8 +151,8 @@ func realMain(full, ext bool, reg *obs.Registry) error {
 		return err
 	}
 	cmaDelta := tRows[len(tRows)-1].Delta
-	fmt.Printf("\nfinal comparison at t=%.0f: CMA δ=%.1f vs FRA δ=%.1f (ratio %.2f; paper reports ≈1.16)\n",
-		w.Time(), cmaDelta, fraEv.Delta, cmaDelta/fraEv.Delta)
+	fmt.Printf("\nfinal comparison at t=%.0f: %s δ=%.1f vs FRA δ=%.1f (ratio %.2f; paper reports ≈1.16 for CMA)\n",
+		w.Time(), mvLabel, cmaDelta, fraEv.Delta, cmaDelta/fraEv.Delta)
 
 	if !ext {
 		return nil

@@ -7,6 +7,7 @@
 //	osd -k 100                 # one FRA placement, topology + surface render
 //	osd -sweep 1:200:10        # Fig. 7 sweep (min:max:step), text table
 //	osd -sweep 1:200:10 -csv   # same as CSV
+//	osd -strategy lloyd -k 100 # a competitor placement from the registry
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
+	"repro/internal/strategy"
 	"repro/internal/surface"
 )
 
@@ -55,6 +57,8 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random baseline seed")
 		csv    = flag.Bool("csv", false, "emit CSV instead of a text table")
 		quiet  = flag.Bool("quiet", false, "suppress surface renders")
+		strat  = flag.String("strategy", "fra",
+			"placement strategy ("+strings.Join(strategy.PlacementNames(), ", ")+")")
 	)
 	reg := obs.NewRegistry()
 	obsRun = obscli.New(reg)
@@ -62,6 +66,11 @@ func main() {
 	flag.Parse()
 	if err := obsRun.Start(); err != nil {
 		log.Fatal(err)
+	}
+
+	placer, err := strategy.LookupPlacement(*strat)
+	if err != nil {
+		fatalf("bad -strategy: %v", err)
 	}
 
 	forest := field.NewForest(field.DefaultForestConfig())
@@ -75,6 +84,7 @@ func main() {
 		opts := eval.DeltaVsKOptions{
 			Rc: *rc, GridN: *gridN, DeltaN: *deltaN,
 			RandomDraws: *draws, Seed: *seed, Metrics: reg,
+			Strategy: *strat,
 		}
 		rows, err := eval.DeltaVsK(ref, ks, opts)
 		if err != nil {
@@ -92,8 +102,9 @@ func main() {
 		return
 	}
 
-	opts := core.FRAOptions{K: *k, Rc: *rc, GridN: *gridN, AnchorCorners: true, Metrics: reg}
-	p, err := core.FRA(ref, opts)
+	p, err := placer.Place(ref, strategy.PlaceOptions{
+		K: *k, Rc: *rc, GridN: *gridN, Seed: *seed, Metrics: reg,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -101,8 +112,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("FRA k=%d: δ=%.1f refined=%d relays=%d connected=%v components=%d mean_degree=%.2f\n",
-		*k, ev.Delta, p.Refined, p.Relays, ev.Connected, ev.Components, ev.MeanDegree)
+	fmt.Printf("%s k=%d: δ=%.1f refined=%d relays=%d connected=%v components=%d mean_degree=%.2f\n",
+		strings.ToUpper(*strat), *k, ev.Delta, p.Refined, p.Relays, ev.Connected, ev.Components, ev.MeanDegree)
 
 	if *quiet {
 		closeRun()

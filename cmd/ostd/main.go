@@ -10,6 +10,7 @@
 //	ostd -concurrent -drop 0.2 # goroutine runtime with 20% message loss
 //	ostd -fault-rate 0.1       # run with 10% seeded failures injected
 //	ostd -fault-sweep 0,0.1,0.3 # δ-vs-failure-rate degradation table
+//	ostd -strategy lloyd       # a competitor movement from the registry
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 	"repro/internal/surface"
 )
 
@@ -65,6 +67,8 @@ func main() {
 		faultRate  = flag.Float64("fault-rate", 0, "run-level failure rate injected via fault.Profile")
 		faultSweep = flag.String("fault-sweep", "", "comma-separated failure rates for the degradation sweep")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection seed")
+		strat      = flag.String("strategy", "cma",
+			"movement strategy ("+strings.Join(strategy.MovementNames(), ", ")+")")
 	)
 	reg := obs.NewRegistry()
 	obsRun = obscli.New(reg)
@@ -78,6 +82,13 @@ func main() {
 	if err != nil {
 		fatalf("bad -snap: %v", err)
 	}
+	mv, err := strategy.LookupMovement(*strat)
+	if err != nil {
+		fatalf("bad -strategy: %v", err)
+	}
+	if *concurrent && *strat != "cma" {
+		fatalf("-concurrent runs the goroutine-per-node CMA runtime; -strategy %s is only available in the staged engine", *strat)
+	}
 
 	forest := field.NewForest(field.DefaultForestConfig())
 	init := field.GridLayout(forest.Bounds(), *k)
@@ -87,7 +98,7 @@ func main() {
 		if err != nil {
 			fatalf("bad -fault-sweep: %v", err)
 		}
-		rows, err := eval.DegradationSweep(forest, *k, *slots, *deltaN, rates, *faultSeed)
+		rows, err := eval.DegradationSweepStrategy(forest, *k, *slots, *deltaN, rates, *faultSeed, *strat)
 		if err != nil {
 			fatal(err)
 		}
@@ -114,6 +125,7 @@ func main() {
 	opts.NoiseStd = *noise
 	opts.Seed = *seed
 	opts.Metrics = reg
+	opts.NewController = mv.NewController
 	if *faultRate > 0 {
 		opts.Config.RobustFit = true
 		opts.Faults = fault.NewInjector(*k, fault.Profile(*faultRate, *slots, *faultSeed))

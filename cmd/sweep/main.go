@@ -1,7 +1,8 @@
 // Command sweep runs a declarative scenario grid — the cartesian product
-// of field generators, node counts, communication radii, fault profiles
-// and seeds described by a JSON spec — through the FRA/CMA evaluation
-// stack, sharded across a bounded worker pool.
+// of field generators, node counts, communication radii, placement
+// strategies, fault profiles and seeds described by a JSON spec —
+// through the strategy-registry evaluation stack, sharded across a
+// bounded worker pool.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	sweep -spec spec.json -out out.json    # run it (workers = NumCPU)
 //	sweep -spec spec.json -workers 8 -checkpoint run.ckpt -out out.json
 //	sweep -spec spec.json -checkpoint run.ckpt -resume -out out.json
+//	sweep -spec spec.json -strategies fra,lloyd,density,random  # bench-off
 //
 // Distributed mode splits the same sweep across processes and machines:
 //
@@ -67,6 +69,9 @@ type config struct {
 	Limit      int
 	Example    bool
 	Quiet      bool
+	// Strategies, when non-empty, replaces the spec's strategies axis
+	// with this comma-separated list before validation.
+	Strategies string
 	// Serve, when non-empty, runs the distributed-sweep coordinator on
 	// this listen address instead of computing cells locally.
 	Serve string
@@ -89,6 +94,7 @@ func main() {
 	flag.BoolVar(&cfg.Resume, "resume", false, "replay completed cells from -checkpoint instead of recomputing")
 	flag.IntVar(&cfg.Limit, "limit", 0, "stop after completing N cells (deterministic interruption); 0 = run all")
 	flag.BoolVar(&cfg.Example, "example", false, "print a small example spec to stdout and exit")
+	flag.StringVar(&cfg.Strategies, "strategies", "", "comma-separated placement strategies overriding the spec's strategies axis")
 	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress per-cell progress lines")
 	flag.StringVar(&cfg.Serve, "serve", "", "run the distributed-sweep coordinator on this address (e.g. :7787)")
 	flag.StringVar(&cfg.Join, "join", "", "join a coordinator as a worker (e.g. http://host:7787)")
@@ -132,6 +138,15 @@ func realMain(cfg config, reg *obs.Registry) error {
 	spec, err := sweep.LoadSpecFile(cfg.SpecPath)
 	if err != nil {
 		return err
+	}
+	if cfg.Strategies != "" {
+		spec.Strategies = strings.Split(cfg.Strategies, ",")
+		for i := range spec.Strategies {
+			spec.Strategies[i] = strings.TrimSpace(spec.Strategies[i])
+		}
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("bad -strategies: %w", err)
+		}
 	}
 	if cfg.Serve != "" {
 		return runServe(cfg, spec, reg)

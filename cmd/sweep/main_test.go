@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -16,18 +17,49 @@ import (
 )
 
 // TestWriteExampleRoundTrips checks that the -example output is a valid
-// spec the loader accepts unchanged.
+// spec the strict (DisallowUnknownFields) loader accepts unchanged, and
+// that it exercises every spec field — strategies axis and a non-trivial
+// fault profile included — so the worked example stays a complete tour
+// of the format as the Spec grows.
 func TestWriteExampleRoundTrips(t *testing.T) {
 	var buf bytes.Buffer
 	if err := writeExample(&buf); err != nil {
 		t.Fatal(err)
 	}
+	raw := buf.String()
 	spec, err := sweep.LoadSpec(&buf)
 	if err != nil {
 		t.Fatalf("example spec does not load: %v", err)
 	}
 	if spec.Name != "example" || spec.NumCells() == 0 {
 		t.Fatalf("unexpected example spec: %+v", spec)
+	}
+
+	// Every field of the Spec must be exercised by the example: a newly
+	// added knob that the example leaves zero fails here until the worked
+	// example (and thus the README and CI smoke) covers it.
+	v := reflect.ValueOf(spec)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).IsZero() {
+			t.Errorf("example spec leaves %s at its zero value", v.Type().Field(i).Name)
+		}
+	}
+	if !reflect.DeepEqual(spec.Strategies, []string{"fra", "lloyd"}) {
+		t.Fatalf("example strategies did not round-trip: %v", spec.Strategies)
+	}
+	var faulty bool
+	for _, fp := range spec.Faults {
+		faulty = faulty || fp.Rate > 0
+	}
+	if !faulty {
+		t.Fatalf("example spec has no non-trivial fault profile: %+v", spec.Faults)
+	}
+
+	// The loader is strict: the same document with one typo'd knob is
+	// rejected instead of silently sweeping the wrong grid.
+	typo := strings.Replace(raw, `"name"`, `"nam"`, 1)
+	if _, err := sweep.LoadSpec(strings.NewReader(typo)); err == nil {
+		t.Fatal("loader accepted an unknown field")
 	}
 }
 
@@ -58,6 +90,57 @@ func TestRealMainArgErrors(t *testing.T) {
 	}
 }
 
+// TestStrategiesFlag drives the -strategies override end to end: a
+// valid list replaces the spec's axis before the run, and an unknown
+// name is rejected with the registered list.
+func TestStrategiesFlag(t *testing.T) {
+	dir := t.TempDir()
+	spec := sweep.Spec{
+		Name:   "cli-strat",
+		Fields: []sweep.FieldSpec{{Kind: "peaks"}},
+		Ks:     []int{4},
+		Rcs:    []float64{50},
+		GridN:  10,
+		DeltaN: 10,
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = realMain(config{SpecPath: specPath, Strategies: "nope", Quiet: true}, nil)
+	if err == nil {
+		t.Fatal("-strategies nope accepted")
+	}
+	for _, want := range []string{"bad -strategies", `unknown strategy "nope"`, "registered:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+
+	outPath := filepath.Join(dir, "out.json")
+	if err := realMain(config{
+		SpecPath: specPath, Strategies: "lloyd, random", Workers: 1, Out: outPath, Quiet: true,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rep sweep.Report
+	rawOut, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawOut, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 || rep.Cells[0].Strategy != "lloyd" || rep.Cells[1].Strategy != "random" {
+		t.Fatalf("-strategies override did not shape the grid: %+v", rep.Cells)
+	}
+}
+
 // TestWriteOutputFormats drives format selection — explicit override,
 // extension inference, the unknown-format error — over a fabricated
 // report, checking each renderer actually produced its format.
@@ -65,7 +148,7 @@ func TestWriteOutputFormats(t *testing.T) {
 	rep := &sweep.Report{
 		Name:  "fmt",
 		Total: 1,
-		Cells: []sweep.Result{{Index: 0, Field: "peaks", K: 3, Rc: 10, Seed: 1, DeltaFRA: 42, Connected: true}},
+		Cells: []sweep.Result{{Index: 0, Field: "peaks", K: 3, Rc: 10, Strategy: "fra", Seed: 1, Delta: 42, Connected: true}},
 	}
 	dir := t.TempDir()
 
@@ -94,7 +177,7 @@ func TestWriteOutputFormats(t *testing.T) {
 	if err := writeOutput(rep, tablePath, "table"); err != nil {
 		t.Fatal(err)
 	}
-	if raw, _ = os.ReadFile(tablePath); !strings.Contains(string(raw), "δ(FRA)") {
+	if raw, _ = os.ReadFile(tablePath); !strings.Contains(string(raw), "δ(rand)") {
 		t.Fatalf("table output missing header: %s", raw)
 	}
 
@@ -243,7 +326,7 @@ func TestRealMainRunsSpec(t *testing.T) {
 	if err := json.Unmarshal(rawOut, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Cells) != 1 || rep.Failed != 0 || rep.Cells[0].DeltaFRA <= 0 {
+	if len(rep.Cells) != 1 || rep.Failed != 0 || rep.Cells[0].Delta <= 0 {
 		t.Fatalf("unexpected report: %+v", rep)
 	}
 	if snap := reg.Snapshot(); snap.Counters["sweep_cells_completed_total"] != 1 {

@@ -111,7 +111,7 @@ func fakeSubmission(t *testing.T, spec *sweep.Spec, idx int, leaseID int64, work
 	res := sweep.Result{
 		Index: idx, Digest: digest,
 		Field: cells[idx].Field.Label(), K: cells[idx].K, Rc: cells[idx].Rc, Seed: cells[idx].Seed,
-		DeltaFRA: 10 + float64(idx), Connected: true,
+		Delta: 10 + float64(idx), Connected: true,
 	}
 	raw, err := json.Marshal(res)
 	if err != nil {

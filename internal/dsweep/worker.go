@@ -263,7 +263,7 @@ func (w *worker) runLease(lease Lease) error {
 	switch rr.Status {
 	case ResultAccepted:
 		w.stats.Computed++
-		fmt.Fprintf(w.logw, "dsweep: worker %s cell %d/%d δ=%.2f\n", w.id, lease.Index+1, len(w.cells), res.DeltaFRA)
+		fmt.Fprintf(w.logw, "dsweep: worker %s cell %d/%d δ=%.2f\n", w.id, lease.Index+1, len(w.cells), res.Delta)
 	case ResultDuplicate:
 		w.stats.Duplicate++
 	case ResultStale:

@@ -116,6 +116,12 @@ type Options struct {
 	// trade exactness for fewer recomputations in slowly-moving swarms
 	// and should stay well below the cell size Rc.
 	NeighborReuseTol float64
+	// NewController builds each node's movement planner; nil means
+	// mobile.DefaultFactory — the paper's CMA controller — which keeps the
+	// default pipeline bit-identical to the pre-interface engine. Movement
+	// strategies (internal/strategy) plug in here: the Plan stage is
+	// constructed from whatever Planner the factory returns.
+	NewController mobile.ControllerFactory
 	// Stages overrides the step pipeline; nil means DefaultStages().
 	Stages []Stage
 	// Metrics, when non-nil, receives per-stage and per-slot wall-time
@@ -130,7 +136,7 @@ type Options struct {
 type Engine struct {
 	dyn     field.DynField
 	opts    Options
-	ctrl    []*mobile.Controller
+	ctrl    []mobile.Planner
 	pos     []geom.Vec2
 	sampler *field.Sampler
 	t       float64
@@ -366,10 +372,14 @@ func New(dyn field.DynField, positions []geom.Vec2, opts Options) (*Engine, erro
 		e.met = newEngineMetrics(opts.Metrics, e.stages)
 	}
 	e.energy = make([]float64, len(e.pos))
+	newCtrl := opts.NewController
+	if newCtrl == nil {
+		newCtrl = mobile.DefaultFactory
+	}
 	region := dyn.Bounds()
 	for i := range e.pos {
 		e.pos[i] = region.ClampPoint(e.pos[i])
-		c, err := mobile.NewController(i, opts.Config)
+		c, err := newCtrl(i, opts.Config)
 		if err != nil {
 			return nil, fmt.Errorf("engine: controller %d: %w", i, err)
 		}

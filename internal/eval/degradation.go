@@ -12,6 +12,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 	"repro/internal/view"
 )
 
@@ -48,6 +49,10 @@ type DegradationRow struct {
 	ConvergenceT float64
 	// Converged reports whether the swarm settled within the run.
 	Converged bool
+	// Energy is the swarm's total movement energy over the run — the sum
+	// of distance traveled by every node (meters) — the bench-off's cost
+	// axis against which δ gains are traded.
+	Energy float64
 }
 
 // ConvergenceEps is the mean-displacement threshold below which the swarm
@@ -64,8 +69,24 @@ const ConvergenceEps = 0.1
 // baseline. Rates above 0 enable the robust (Huber) curvature fit, the
 // degraded-mode backend that keeps outlier samples from hijacking forces.
 func DegradationSweep(dyn field.DynField, k, slots, deltaN int, rates []float64, seed int64) ([]DegradationRow, error) {
+	return DegradationSweepStrategy(dyn, k, slots, deltaN, rates, seed, "cma")
+}
+
+// DegradationSweepStrategy is DegradationSweep with the movement strategy
+// made explicit: movement names a registered strategy whose controllers
+// drive the engine's Plan stage in place of CMA. "cma" reproduces
+// DegradationSweep exactly (bit-identical — the registry adds dispatch,
+// not dynamics).
+func DegradationSweepStrategy(dyn field.DynField, k, slots, deltaN int, rates []float64, seed int64, movement string) ([]DegradationRow, error) {
 	if k < 1 || slots < 1 || deltaN < 1 || len(rates) == 0 {
 		return nil, fmt.Errorf("%w: k=%d slots=%d deltaN=%d rates=%v", ErrBadParams, k, slots, deltaN, rates)
+	}
+	if movement == "" {
+		movement = "cma"
+	}
+	mv, err := strategy.LookupMovement(movement)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
 	}
 	init := field.GridLayout(dyn.Bounds(), k)
 	rows := make([]DegradationRow, 0, len(rates))
@@ -73,6 +94,7 @@ func DegradationSweep(dyn field.DynField, k, slots, deltaN int, rates []float64,
 		opts := sim.DefaultOptions()
 		opts.Config.RobustFit = rate > 0
 		opts.Faults = fault.NewInjector(k, fault.Profile(rate, slots, seed))
+		opts.NewController = mv.NewController
 		w, err := sim.NewWorld(dyn, init, opts)
 		if err != nil {
 			return nil, fmt.Errorf("eval: degradation world rate=%g: %w", rate, err)
@@ -134,6 +156,7 @@ func RunDegradation(w *sim.World, slots, deltaN int) (DegradationRow, error) {
 	}
 	row.ConnectedUptime = float64(connected) / float64(slots)
 	row.SinkReach = reachSum / float64(slots)
+	row.Energy = w.TotalEnergy()
 	if conv >= 0 {
 		row.ConvergenceT = conv
 		row.Converged = true
@@ -243,11 +266,11 @@ func sinkReach(tree *collect.Tree, alive view.Alive, aliveCount int) float64 {
 // WriteDegradationTable renders the sweep as an aligned text table.
 func WriteDegradationTable(w io.Writer, rows []DegradationRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "rate\tδ_end\tδ_mean\tconn_uptime\tsink_reach\talive_end\tdeaths\trepairs\trebuilds")
+	fmt.Fprintln(tw, "rate\tδ_end\tδ_mean\tconn_uptime\tsink_reach\tenergy\talive_end\tdeaths\trepairs\trebuilds")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%.2f\t%.1f\t%.1f\t%.2f\t%.2f\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%.2f\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\t%d\t%d\t%d\t%d\n",
 			r.Rate, r.DeltaEnd, r.DeltaMean, r.ConnectedUptime, r.SinkReach,
-			r.AliveEnd, r.Deaths, r.Repairs, r.Rebuilds)
+			r.Energy, r.AliveEnd, r.Deaths, r.Repairs, r.Rebuilds)
 	}
 	if err := tw.Flush(); err != nil {
 		return fmt.Errorf("eval: write table: %w", err)
@@ -258,11 +281,11 @@ func WriteDegradationTable(w io.Writer, rows []DegradationRow) error {
 // WriteDegradationCSV renders the sweep as CSV.
 func WriteDegradationCSV(w io.Writer, rows []DegradationRow) error {
 	var b strings.Builder
-	b.WriteString("rate,delta_end,delta_mean,conn_uptime,sink_reach,alive_end,deaths,repairs,rebuilds\n")
+	b.WriteString("rate,delta_end,delta_mean,conn_uptime,sink_reach,energy,alive_end,deaths,repairs,rebuilds\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%g,%g,%g,%g,%g,%d,%d,%d,%d\n",
+		fmt.Fprintf(&b, "%g,%g,%g,%g,%g,%g,%d,%d,%d,%d\n",
 			r.Rate, r.DeltaEnd, r.DeltaMean, r.ConnectedUptime, r.SinkReach,
-			r.AliveEnd, r.Deaths, r.Repairs, r.Rebuilds)
+			r.Energy, r.AliveEnd, r.Deaths, r.Repairs, r.Rebuilds)
 	}
 	if _, err := io.WriteString(w, b.String()); err != nil {
 		return fmt.Errorf("eval: write csv: %w", err)

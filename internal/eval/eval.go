@@ -21,6 +21,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 )
 
 // ErrBadParams is returned for invalid sweep parameters.
@@ -30,13 +31,17 @@ var ErrBadParams = errors.New("eval: invalid parameters")
 type DeltaVsKRow struct {
 	// K is the node count.
 	K int
-	// FRA is δ for the FRA placement.
+	// FRA is δ for the placement under test. The field keeps its
+	// historical name for compatibility; when DeltaVsKOptions.Strategy
+	// names a different placement, this is that strategy's δ.
 	FRA float64
 	// Random is δ for random deployment, averaged over RandomDraws.
 	Random float64
-	// Refined and Relays break down the FRA placement.
+	// Refined and Relays break down the placement (strategy-specific
+	// bookkeeping: FRA's refinement moves and relay insertions, Lloyd's
+	// relaxation rounds).
 	Refined, Relays int
-	// Connected reports whether the FRA placement is connected at Rc.
+	// Connected reports whether the placement is connected at Rc.
 	Connected bool
 }
 
@@ -61,6 +66,10 @@ type DeltaVsKOptions struct {
 	// obs metric mutators are atomic, so the parallel pool shares one
 	// registry safely). Sweep outputs are bit-identical either way.
 	Metrics *obs.Registry
+	// Strategy names the placement under test, resolved from the strategy
+	// registry; empty means "fra". Routing "fra" through the registry is
+	// bit-identical to the direct core.FRA call this sweep used to make.
+	Strategy string
 }
 
 // DefaultDeltaVsKOptions returns the paper's Fig. 7 setting.
@@ -68,18 +77,25 @@ func DefaultDeltaVsKOptions() DeltaVsKOptions {
 	return DeltaVsKOptions{Rc: 10, GridN: 100, DeltaN: 100, RandomDraws: 5, Seed: 1}
 }
 
-// DeltaVsK runs FRA and the random baseline for each k and reports δ —
-// the data series of Fig. 7. The sweep fans out over a bounded worker
-// pool: every FRA run and every random draw is an independent task with a
-// fixed seed, and results are written into index-addressed slots, so the
-// rows are bit-identical to a serial sweep regardless of worker count or
-// GOMAXPROCS.
+// DeltaVsK runs the named placement strategy (default FRA) and the random
+// baseline for each k and reports δ — the data series of Fig. 7. The
+// sweep fans out over a bounded worker pool: every placement run and
+// every random draw is an independent task with a fixed seed, and results
+// are written into index-addressed slots, so the rows are bit-identical
+// to a serial sweep regardless of worker count or GOMAXPROCS.
 func DeltaVsK(f field.Field, ks []int, opts DeltaVsKOptions) ([]DeltaVsKRow, error) {
 	if len(ks) == 0 {
 		return nil, fmt.Errorf("%w: no k values", ErrBadParams)
 	}
 	if opts.RandomDraws < 1 {
 		opts.RandomDraws = 1
+	}
+	if opts.Strategy == "" {
+		opts.Strategy = "fra"
+	}
+	placer, err := strategy.LookupPlacement(opts.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
 	}
 	// The random baselines reuse FRA's reconstruction anchors (the region
 	// corners) for fairness; they are a fixed property of the region, so
@@ -96,14 +112,15 @@ func DeltaVsK(f field.Field, ks []int, opts DeltaVsKOptions) ([]DeltaVsKRow, err
 	for i, k := range ks {
 		i, k := i, k
 		tasks = append(tasks, func() error {
-			fraOpts := core.FRAOptions{K: k, Rc: opts.Rc, GridN: opts.GridN, AnchorCorners: true, Metrics: opts.Metrics}
-			p, err := core.FRA(f, fraOpts)
+			p, err := placer.Place(f, strategy.PlaceOptions{
+				K: k, Rc: opts.Rc, GridN: opts.GridN, Seed: opts.Seed, Metrics: opts.Metrics,
+			})
 			if err != nil {
-				return fmt.Errorf("eval: FRA k=%d: %w", k, err)
+				return fmt.Errorf("eval: %s k=%d: %w", opts.Strategy, k, err)
 			}
 			ev, err := core.Evaluate(f, p, opts.Rc, opts.DeltaN)
 			if err != nil {
-				return fmt.Errorf("eval: evaluate FRA k=%d: %w", k, err)
+				return fmt.Errorf("eval: evaluate %s k=%d: %w", opts.Strategy, k, err)
 			}
 			rows[i] = DeltaVsKRow{
 				K:         k,

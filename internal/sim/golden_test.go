@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/field"
+	"repro/internal/mobile"
 )
 
 // updateGolden regenerates the golden trajectory file from the current
@@ -20,6 +21,16 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden step testdata from the current engine")
 
 const goldenPath = "testdata/golden_step.json"
+
+// goldenScenarios are the recorded trajectories: a fault-free run, a
+// fault.Profile run, and an explicitly scheduled fault run.
+var goldenScenarios = []string{"clean", "profile", "schedule"}
+
+// goldenFactory, when non-nil, overrides the worlds' controller factory.
+// It is the hook TestGoldenBitIdentityViaStrategy uses to prove that
+// controllers resolved through the strategy registry reproduce the
+// recorded trajectories bit for bit; nil keeps the default CMA path.
+var goldenFactory mobile.ControllerFactory
 
 // goldenSlot is one recorded simulation slot: every StepStats field (floats
 // as IEEE-754 bit patterns, so the comparison is exact), the connectivity
@@ -51,6 +62,7 @@ func goldenWorld(t *testing.T, name string) (*World, int) {
 	t.Helper()
 	forest := field.NewForest(field.DefaultForestConfig())
 	opts := DefaultOptions()
+	opts.NewController = goldenFactory // nil means the default CMA factory
 	var k, slots int
 	switch name {
 	case "clean":
@@ -134,10 +146,9 @@ func recordGolden(t *testing.T, name string) goldenRun {
 //
 // only when a behavior change is intended and reviewed.
 func TestGoldenBitIdentity(t *testing.T) {
-	scenarios := []string{"clean", "profile", "schedule"}
 	if *updateGolden {
 		var runs []goldenRun
-		for _, name := range scenarios {
+		for _, name := range goldenScenarios {
 			runs = append(runs, recordGolden(t, name))
 		}
 		buf, err := json.MarshalIndent(runs, "", " ")
@@ -153,7 +164,14 @@ func TestGoldenBitIdentity(t *testing.T) {
 		t.Logf("rewrote %s with %d scenarios", goldenPath, len(runs))
 		return
 	}
+	verifyGolden(t)
+}
 
+// verifyGolden replays every recorded scenario against the current
+// engine configuration (including any goldenFactory override) and fails
+// on the first diverging bit.
+func verifyGolden(t *testing.T) {
+	t.Helper()
 	buf, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("read golden file (regenerate with -update): %v", err)
@@ -162,8 +180,8 @@ func TestGoldenBitIdentity(t *testing.T) {
 	if err := json.Unmarshal(buf, &want); err != nil {
 		t.Fatal(err)
 	}
-	if len(want) != len(scenarios) {
-		t.Fatalf("golden file has %d scenarios, want %d", len(want), len(scenarios))
+	if len(want) != len(goldenScenarios) {
+		t.Fatalf("golden file has %d scenarios, want %d", len(want), len(goldenScenarios))
 	}
 	for _, g := range want {
 		g := g

@@ -58,6 +58,11 @@ type Options struct {
 	// fault injector reports its event counters to the same registry.
 	// Instrumentation never perturbs the trajectory; nil is free.
 	Metrics *obs.Registry
+	// NewController builds each node's movement planner; nil means the
+	// paper's CMA controller (mobile.DefaultFactory). Movement strategies
+	// from internal/strategy plug their per-node controllers in here; the
+	// nil default is bit-identical to the pre-interface world.
+	NewController mobile.ControllerFactory
 	// NeighborReuseTol is the engine's neighbor-list reuse displacement
 	// tolerance in meters. The zero default keeps cached lists exact — a
 	// list is reused only when reusing it is bit-identical to recomputing
@@ -136,13 +141,14 @@ func NewWorld(dyn field.DynField, positions []geom.Vec2, opts Options) (*World, 
 		}
 	}
 	eng, err := engine.New(dyn, positions, engine.Options{
-		Config:      opts.Config,
-		NoiseStd:    opts.NoiseStd,
-		Seed:        opts.Seed,
-		SlotMinutes: opts.SlotMinutes,
-		Faults:      opts.Faults,
-		BeforeMove:  w.beforeMove,
-		Metrics:     opts.Metrics,
+		Config:        opts.Config,
+		NoiseStd:      opts.NoiseStd,
+		Seed:          opts.Seed,
+		SlotMinutes:   opts.SlotMinutes,
+		Faults:        opts.Faults,
+		BeforeMove:    w.beforeMove,
+		Metrics:       opts.Metrics,
+		NewController: opts.NewController,
 
 		NeighborReuseTol: opts.NeighborReuseTol,
 	})

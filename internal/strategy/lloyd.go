@@ -1,0 +1,239 @@
+package strategy
+
+import (
+	"repro/internal/core"
+	"repro/internal/curvature"
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/mobile"
+)
+
+// Lloyd / centroidal-Voronoi coverage descent with limited-range
+// interactions, after Cortés, Martínez and Bullo ("Spatially-distributed
+// coverage optimization and control with limited-range interactions"):
+// each node's working cell is the intersection of its Voronoi cell with a
+// disc of radius r strictly under Rc/2, which makes the cell — and hence
+// the descent — computable from Rc-neighbors alone. Moving every node to
+// its cell centroid descends the coverage cost Σ ∫cell |q − p|² dq.
+//
+// The strategy registers twice: as the placement "lloyd" (iterate the
+// centroid map to a fixed point — a centroidal Voronoi tessellation) and
+// as the movement "lloyd" (one descent step per slot, velocity-limited,
+// running inside the engine's Plan stage like CMA does).
+
+const (
+	// lloydRangeFrac sets the limited interaction range as a fraction of
+	// Rc: r = lloydRangeFrac·Rc. The locality lemma needs 2r ≤ Rc — any
+	// point within r of node i but at least as close to some node j
+	// implies d(i,j) ≤ 2r — and the margin below ½ keeps the lemma true
+	// under floating-point rounding of squared distances at the boundary,
+	// so a cell computed from Rc-neighbors is bit-identical to one
+	// computed against the whole swarm (FuzzLloydCentroid checks exactly
+	// this against a brute-force oracle).
+	lloydRangeFrac = 0.499
+	// lloydMaxIters bounds the placement's relaxation; convergence to the
+	// relative tolerance typically needs far fewer rounds.
+	lloydMaxIters = 200
+	// lloydStopFrac is the movement deadband: a node whose centroid
+	// offset is below lloydStopFrac·r parks. Relative to r so the
+	// dynamics are scale-equivariant.
+	lloydStopFrac = 0.02
+	// lloydCellM is the local-cell lattice half-resolution: the movement
+	// controller integrates its cell over a (2m+1)² point lattice spanning
+	// the [−r, r]² square around the node.
+	lloydCellM = 8
+)
+
+func init() {
+	RegisterPlacement(placementFunc{"lloyd", placeLloyd})
+	RegisterMovement(movementFunc{"lloyd", newLloydController})
+}
+
+// placeLloyd computes a limited-range centroidal Voronoi tessellation:
+// from the deterministic grid layout, repeatedly assign every lattice
+// point to its nearest node (lowest index on ties), keep the points
+// within r of that node, and move each node to the mean of its points,
+// until the largest per-round move falls below a relative tolerance.
+//
+// Unlike CWD's |G|-weighted relaxation this is the pure coverage
+// objective (density 1): the field's values never enter, only its
+// bounds. Every operation — lattice construction, squared-distance
+// comparisons, mean — commutes exactly with scaling region and Rc by a
+// power of two, so a converged placement is exactly equivariant under
+// such scalings (the metamorphic test pins this).
+func placeLloyd(f field.Field, o PlaceOptions) (core.Placement, error) {
+	if err := validatePlace(o); err != nil {
+		return core.Placement{}, err
+	}
+	gridN := o.GridN
+	if gridN == 0 {
+		gridN = 100
+	}
+	region := f.Bounds()
+	nodes := field.GridLayout(region, o.K)
+	lattice := field.GridPositions(region, gridN)
+	r := lloydRangeFrac * o.Rc
+	r2 := r * r
+	// Relative convergence tolerance: exact under power-of-two scaling
+	// because both sides of the comparison scale by s².
+	tol := 1e-9 * region.Width()
+	tol2 := tol * tol
+
+	cnt := make([]int, o.K)
+	sumX := make([]float64, o.K)
+	sumY := make([]float64, o.K)
+	iters := 0
+	for it := 0; it < lloydMaxIters; it++ {
+		iters++
+		for j := range cnt {
+			cnt[j], sumX[j], sumY[j] = 0, 0, 0
+		}
+		for _, p := range lattice {
+			best, bestD := 0, p.Dist2(nodes[0])
+			for j := 1; j < o.K; j++ {
+				if d := p.Dist2(nodes[j]); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if bestD <= r2 {
+				cnt[best]++
+				sumX[best] += p.X
+				sumY[best] += p.Y
+			}
+		}
+		maxMove2 := 0.0
+		for j := range nodes {
+			if cnt[j] == 0 {
+				continue // empty cell: the node holds position
+			}
+			c := geom.V2(sumX[j]/float64(cnt[j]), sumY[j]/float64(cnt[j]))
+			if d := nodes[j].Dist2(c); d > maxMove2 {
+				maxMove2 = d
+			}
+			nodes[j] = c
+		}
+		if maxMove2 <= tol2 {
+			break
+		}
+	}
+	return core.Placement{
+		Nodes:   nodes,
+		Refined: iters, // bookkeeping: relaxation rounds to convergence
+		Anchors: cornerAnchors(region),
+	}, nil
+}
+
+// LloydLocalCentroid integrates the r-limited local Voronoi cell of pos —
+// the points q with |q − pos| ≤ r, inside region, and no neighbor
+// strictly closer than pos — over a fixed (2·lloydCellM+1)² lattice
+// spanning [−r, r]², and returns the cell centroid. ok is false when the
+// cell has no lattice mass (the node is crowded out).
+//
+// Exported for the fuzz oracle: with r = lloydRangeFrac·Rc, the result
+// computed from only the neighbors within Rc is bit-identical to the
+// result computed against every other node in the swarm, which is what
+// makes the descent a strictly local algorithm.
+func LloydLocalCentroid(pos geom.Vec2, neighbors []geom.Vec2, r float64, region geom.Rect) (geom.Vec2, bool) {
+	step := r / lloydCellM
+	r2 := r * r
+	var sx, sy float64
+	n := 0
+	for i := -lloydCellM; i <= lloydCellM; i++ {
+		for j := -lloydCellM; j <= lloydCellM; j++ {
+			q := geom.V2(pos.X+float64(i)*step, pos.Y+float64(j)*step)
+			if !region.Contains(q) {
+				continue
+			}
+			dq := q.Dist2(pos)
+			if dq > r2 {
+				continue
+			}
+			mine := true
+			for _, nb := range neighbors {
+				if q.Dist2(nb) < dq {
+					mine = false
+					break
+				}
+			}
+			if mine {
+				sx += q.X
+				sy += q.Y
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return pos, false
+	}
+	return geom.V2(sx/float64(n), sy/float64(n)), true
+}
+
+// lloydController runs one centroid-descent step per slot as a
+// mobile.Planner. It ignores the curvature machinery entirely: the
+// broadcast G is zero, the fit scratch unused, and the only inputs are
+// the node's own position and its neighbors' reported positions.
+type lloydController struct {
+	id  int
+	cfg mobile.Config
+	r   float64
+}
+
+// newLloydController is the registered "lloyd" movement factory.
+func newLloydController(id int, cfg mobile.Config) (mobile.Planner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxStep <= 0 {
+		cfg.MaxStep = 1
+	}
+	return &lloydController{id: id, cfg: cfg, r: lloydRangeFrac * cfg.Rc}, nil
+}
+
+func (c *lloydController) ID() int { return c.id }
+
+// PlanEstimate is the Fit-stage dry run: Lloyd broadcasts no curvature,
+// so the decision is empty (G = 0) and nothing is cached.
+func (c *lloydController) PlanEstimate(_ *curvature.Fitter, pos geom.Vec2, _ []field.Sample) (mobile.Decision, error) {
+	return mobile.Decision{Peak: pos, Target: pos}, nil
+}
+
+// PlanCached performs the descent step: move toward the centroid of the
+// r-limited local Voronoi cell. Stale neighbor reports (Age > 0) still
+// bound the cell — a silent neighbor's last known position is the best
+// available estimate of the territory it covers.
+func (c *lloydController) PlanCached(_ *curvature.Fitter, pos geom.Vec2, _ []field.Sample, neighbors []mobile.NeighborInfo) (mobile.Decision, error) {
+	d := mobile.Decision{Peak: pos, Target: pos}
+	nbr := make([]geom.Vec2, 0, len(neighbors))
+	for _, nb := range neighbors {
+		nbr = append(nbr, nb.Pos)
+	}
+	cen, ok := LloydLocalCentroid(pos, nbr, c.r, c.cfg.Region)
+	if !ok {
+		return d, nil
+	}
+	off := cen.Sub(pos)
+	d.Fs = off
+	if off.Len() <= lloydStopFrac*c.r {
+		return d, nil // parked at (near) the centroid
+	}
+	d.Move = true
+	d.Target = c.cfg.Region.ClampPoint(cen)
+	return d, nil
+}
+
+// Step moves toward the announced centroid, velocity-limited by MaxStep.
+func (c *lloydController) Step(pos geom.Vec2, d mobile.Decision) geom.Vec2 {
+	if !d.Move {
+		return pos
+	}
+	dir := d.Target.Sub(pos)
+	dist := dir.Len()
+	if dist == 0 {
+		return pos
+	}
+	step := dist
+	if step > c.cfg.MaxStep {
+		step = c.cfg.MaxStep
+	}
+	return c.cfg.Region.ClampPoint(pos.Add(dir.Scale(step / dist)))
+}

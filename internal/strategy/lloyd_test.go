@@ -1,0 +1,130 @@
+package strategy_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+)
+
+// lloydPlace runs the registered Lloyd placement over a peaks field on
+// the given square region.
+func lloydPlace(t *testing.T, side, rc float64, k, gridN int) ([]geom.Vec2, int) {
+	t.Helper()
+	placer, err := strategy.LookupPlacement("lloyd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := placer.Place(field.Peaks(geom.Square(side)), strategy.PlaceOptions{K: k, Rc: rc, GridN: gridN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Nodes, p.Refined
+}
+
+// TestLloydScaleEquivariant is the metamorphic test for the Lloyd
+// placement: scaling the region and Rc by a power of two scales the
+// converged placement by exactly the same factor, bit for bit. Every
+// operation in the relaxation — lattice construction, squared-distance
+// comparisons, the cell means, the relative stopping rule — commutes
+// exactly with multiplication by a power of two, so this is an equality
+// on Float64bits, not an approximation.
+func TestLloydScaleEquivariant(t *testing.T) {
+	const (
+		side, rc = 96.0, 12.0
+		k, gridN = 40, 48
+	)
+	base, baseIters := lloydPlace(t, side, rc, k, gridN)
+	for _, s := range []float64{2, 4, 0.5} {
+		scaled, iters := lloydPlace(t, s*side, s*rc, k, gridN)
+		if iters != baseIters {
+			t.Fatalf("scale %g: %d relaxation rounds, base took %d", s, iters, baseIters)
+		}
+		if len(scaled) != len(base) {
+			t.Fatalf("scale %g: %d nodes, base has %d", s, len(scaled), len(base))
+		}
+		for i := range base {
+			wx, wy := s*base[i].X, s*base[i].Y
+			if math.Float64bits(scaled[i].X) != math.Float64bits(wx) ||
+				math.Float64bits(scaled[i].Y) != math.Float64bits(wy) {
+				t.Fatalf("scale %g node %d: %v, want exactly %v", s, i, scaled[i], geom.V2(wx, wy))
+			}
+		}
+	}
+}
+
+// TestLloydMovementDeterministic runs the Lloyd movement twice through
+// the full engine and demands bit-identical trajectories — the same
+// determinism contract CMA carries.
+func TestLloydMovementDeterministic(t *testing.T) {
+	forest := field.NewForest(field.DefaultForestConfig())
+	init := field.GridLayout(forest.Bounds(), 25)
+	run := func() *sim.World {
+		opts := sim.DefaultOptions()
+		opts.NewController = strategy.MovementFor("lloyd").NewController
+		w, err := sim.NewWorld(forest, init, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := run(), run()
+	for s := 0; s < 3; s++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+		if _, err := b.Step(); err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+		samePoints(t, "positions", b.Positions(), a.Positions())
+	}
+}
+
+// FuzzLloydCentroid fuzzes the locality lemma against a brute-force
+// oracle: with r = 0.499·Rc, the local cell centroid computed from only
+// the neighbors within Rc must be bit-identical to the one computed
+// against every other node in the swarm. A node beyond Rc can never
+// claim a lattice point within r of pos (it would need to be within
+// 2r < Rc), so restricting to Rc-neighbors must not change a single bit
+// — this is what makes the descent a strictly local algorithm.
+func FuzzLloydCentroid(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Add(int64(123456789))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		region := geom.Square(100)
+		n := 2 + rng.Intn(30)
+		nodes := make([]geom.Vec2, n)
+		for i := range nodes {
+			nodes[i] = geom.V2(100*rng.Float64(), 100*rng.Float64())
+		}
+		rc := 5 + 25*rng.Float64()
+		r := 0.499 * rc
+		pos := nodes[0]
+
+		all := nodes[1:]
+		var near []geom.Vec2
+		for _, nb := range all {
+			if pos.Dist2(nb) <= rc*rc {
+				near = append(near, nb)
+			}
+		}
+
+		local, okL := strategy.LloydLocalCentroid(pos, near, r, region)
+		oracle, okO := strategy.LloydLocalCentroid(pos, all, r, region)
+		if okL != okO {
+			t.Fatalf("seed %d: mass disagreement: local ok=%v, oracle ok=%v", seed, okL, okO)
+		}
+		if math.Float64bits(local.X) != math.Float64bits(oracle.X) ||
+			math.Float64bits(local.Y) != math.Float64bits(oracle.Y) {
+			t.Fatalf("seed %d: centroid from %d Rc-neighbors %v differs from oracle over %d nodes %v",
+				seed, len(near), local, len(all), oracle)
+		}
+	})
+}

@@ -24,8 +24,8 @@ func WriteJSON(w io.Writer, rep *Report) error {
 
 // csvHeader is the flat per-cell schema; mobile columns are empty for
 // static-only sweeps.
-const csvHeader = "index,field,k,rc,fault_rate,seed,delta_fra,delta_random,refined,relays,connected," +
-	"delta_end,delta_mean,convergence_t,converged,connected_uptime,sink_reach,alive_end,deaths,repairs,rebuilds,error\n"
+const csvHeader = "index,field,k,rc,strategy,fault_rate,seed,delta,delta_random,refined,relays,connected," +
+	"delta_end,delta_mean,convergence_t,converged,connected_uptime,sink_reach,energy,alive_end,deaths,repairs,rebuilds,error\n"
 
 // WriteCSV renders the report as CSV with the same determinism contract
 // as WriteJSON.
@@ -33,15 +33,15 @@ func WriteCSV(w io.Writer, rep *Report) error {
 	var b strings.Builder
 	b.WriteString(csvHeader)
 	for _, r := range rep.Cells {
-		fmt.Fprintf(&b, "%d,%s,%d,%g,%g,%d,%g,%g,%d,%d,%v,",
-			r.Index, r.Field, r.K, r.Rc, r.FaultRate, r.Seed,
-			r.DeltaFRA, r.DeltaRandom, r.Refined, r.Relays, r.Connected)
+		fmt.Fprintf(&b, "%d,%s,%d,%g,%s,%g,%d,%g,%g,%d,%d,%v,",
+			r.Index, r.Field, r.K, r.Rc, r.Strategy, r.FaultRate, r.Seed,
+			r.Delta, r.DeltaRandom, r.Refined, r.Relays, r.Connected)
 		if m := r.Mobile; m != nil {
-			fmt.Fprintf(&b, "%g,%g,%g,%v,%g,%g,%d,%d,%d,%d,",
+			fmt.Fprintf(&b, "%g,%g,%g,%v,%g,%g,%g,%d,%d,%d,%d,",
 				m.DeltaEnd, m.DeltaMean, m.ConvergenceT, m.Converged,
-				m.ConnectedUptime, m.SinkReach, m.AliveEnd, m.Deaths, m.Repairs, m.Rebuilds)
+				m.ConnectedUptime, m.SinkReach, m.Energy, m.AliveEnd, m.Deaths, m.Repairs, m.Rebuilds)
 		} else {
-			b.WriteString(",,,,,,,,,,")
+			b.WriteString(",,,,,,,,,,,")
 		}
 		b.WriteString(csvEscape(r.Err))
 		b.WriteByte('\n')
@@ -71,25 +71,25 @@ func WriteTable(w io.Writer, rep *Report) error {
 		}
 	}
 	if mobile {
-		fmt.Fprintln(tw, "field\tk\trc\trate\tseed\tδ(FRA)\tδ(rand)\trelays\tconn\tδ_end\tconv_t\tuptime\talive")
+		fmt.Fprintln(tw, "field\tk\trc\tstrategy\trate\tseed\tδ\tδ(rand)\trelays\tconn\tδ_end\tconv_t\tuptime\tenergy\talive")
 	} else {
-		fmt.Fprintln(tw, "field\tk\trc\trate\tseed\tδ(FRA)\tδ(rand)\trelays\tconn")
+		fmt.Fprintln(tw, "field\tk\trc\tstrategy\trate\tseed\tδ\tδ(rand)\trelays\tconn")
 	}
 	for _, r := range rep.Cells {
 		if r.Err != "" {
-			fmt.Fprintf(tw, "%s\t%d\t%g\t%g\t%d\tFAILED: %s\n", r.Field, r.K, r.Rc, r.FaultRate, r.Seed, r.Err)
+			fmt.Fprintf(tw, "%s\t%d\t%g\t%s\t%g\t%d\tFAILED: %s\n", r.Field, r.K, r.Rc, r.Strategy, r.FaultRate, r.Seed, r.Err)
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%g\t%g\t%d\t%.1f\t%.1f\t%d\t%v",
-			r.Field, r.K, r.Rc, r.FaultRate, r.Seed, r.DeltaFRA, r.DeltaRandom, r.Relays, r.Connected)
+		fmt.Fprintf(tw, "%s\t%d\t%g\t%s\t%g\t%d\t%.1f\t%.1f\t%d\t%v",
+			r.Field, r.K, r.Rc, r.Strategy, r.FaultRate, r.Seed, r.Delta, r.DeltaRandom, r.Relays, r.Connected)
 		if m := r.Mobile; m != nil {
 			conv := "-"
 			if m.Converged {
 				conv = fmt.Sprintf("%.0f", m.ConvergenceT)
 			}
-			fmt.Fprintf(tw, "\t%.1f\t%s\t%.2f\t%d", m.DeltaEnd, conv, m.ConnectedUptime, m.AliveEnd)
+			fmt.Fprintf(tw, "\t%.1f\t%s\t%.2f\t%.1f\t%d", m.DeltaEnd, conv, m.ConnectedUptime, m.Energy, m.AliveEnd)
 		} else if mobile {
-			fmt.Fprint(tw, "\t\t\t\t")
+			fmt.Fprint(tw, "\t\t\t\t\t")
 		}
 		fmt.Fprintln(tw)
 	}
@@ -108,7 +108,7 @@ func DeltaVsKRows(rep *Report) []eval.DeltaVsKRow {
 	for _, r := range rep.Cells {
 		rows = append(rows, eval.DeltaVsKRow{
 			K:         r.K,
-			FRA:       r.DeltaFRA,
+			FRA:       r.Delta,
 			Random:    r.DeltaRandom,
 			Refined:   r.Refined,
 			Relays:    r.Relays,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 )
 
 // Result is one cell's outcome. Every field is deterministic given the
@@ -19,16 +20,19 @@ type Result struct {
 	// Index and Digest identify the cell within its spec.
 	Index  int    `json:"index"`
 	Digest string `json:"digest"`
-	// Field, K, Rc, FaultRate and Seed echo the cell coordinates.
+	// Field, K, Rc, Strategy, FaultRate and Seed echo the cell
+	// coordinates.
 	Field     string  `json:"field"`
 	K         int     `json:"k"`
 	Rc        float64 `json:"rc"`
+	Strategy  string  `json:"strategy"`
 	FaultRate float64 `json:"fault_rate"`
 	Seed      int64   `json:"seed"`
 
-	// DeltaFRA is δ of the FRA placement on the cell's reference field,
-	// with Refined/Relays/Connected breaking the placement down.
-	DeltaFRA  float64 `json:"delta_fra"`
+	// Delta is δ of the cell's placement strategy on the reference field,
+	// with Refined/Relays/Connected breaking the placement down
+	// (strategy-specific bookkeeping; relays are FRA-only).
+	Delta     float64 `json:"delta"`
 	Refined   int     `json:"refined"`
 	Relays    int     `json:"relays"`
 	Connected bool    `json:"connected"`
@@ -36,7 +40,9 @@ type Result struct {
 	// spec's RandomDraws (absent when draws are off).
 	DeltaRandom float64 `json:"delta_random,omitempty"`
 
-	// Mobile holds the CMA-under-faults phase when Spec.Slots > 0.
+	// Mobile holds the movement-under-faults phase when Spec.Slots > 0,
+	// driven by the strategy's movement phase (CMA unless the strategy
+	// registers its own — see strategy.MovementFor).
 	Mobile *MobileResult `json:"mobile,omitempty"`
 
 	// Err is the cell's failure, if any: a failed cell is isolated — it
@@ -45,7 +51,8 @@ type Result struct {
 	Err string `json:"error,omitempty"`
 }
 
-// MobileResult is the mobile (CMA + fault injection) phase of a cell.
+// MobileResult is the mobile (movement strategy + fault injection) phase
+// of a cell.
 type MobileResult struct {
 	// DeltaEnd and DeltaMean are δ at the end of the run and averaged
 	// over slots, reconstructed from surviving nodes only.
@@ -63,20 +70,29 @@ type MobileResult struct {
 	Deaths          int     `json:"deaths"`
 	Repairs         int     `json:"repairs"`
 	Rebuilds        int     `json:"rebuilds"`
+	// Energy is the swarm's total distance traveled over the run (meters)
+	// — the bench-off's movement-cost axis.
+	Energy float64 `json:"energy"`
 }
 
-// RunCell executes one cell end to end: build the field, run FRA and its
-// random baseline on the t = 0 reference slice, and (when the spec has a
-// mobile phase) run the CMA swarm under the cell's fault profile. A panic
+// RunCell executes one cell end to end: build the field, run the cell's
+// placement strategy and its random baseline on the t = 0 reference
+// slice, and (when the spec has a mobile phase) run the movement swarm
+// under the cell's fault profile. A panic
 // anywhere inside is converted into the cell's Err — per-cell isolation —
 // so one degenerate scenario cannot abort a thousand-cell batch. It is
 // exported for internal/dsweep, whose workers run leased cells through
 // exactly this path so a distributed sweep's per-cell results are
 // bit-identical to a local run's.
 func RunCell(s *Spec, c Cell, reg *obs.Registry) (res Result) {
+	name := c.Strategy
+	if name == "" {
+		name = "fra" // pre-strategy specs and checkpoints
+	}
 	res = Result{
 		Index: c.Index, Digest: s.Digest(c),
-		Field: c.Field.Label(), K: c.K, Rc: c.Rc, FaultRate: c.Fault.Rate, Seed: c.Seed,
+		Field: c.Field.Label(), K: c.K, Rc: c.Rc, Strategy: name,
+		FaultRate: c.Fault.Rate, Seed: c.Seed,
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -90,22 +106,28 @@ func RunCell(s *Spec, c Cell, reg *obs.Registry) (res Result) {
 	}
 	ref := field.Slice(dyn, 0)
 
-	// Static phase: FRA against the reference surface, exactly as
-	// eval.DeltaVsK runs it, so a sweep cell reproduces the Fig. 7 series
-	// bit for bit.
-	p, err := core.FRA(ref, core.FRAOptions{
-		K: c.K, Rc: c.Rc, GridN: s.GridN, AnchorCorners: true, Metrics: reg,
+	// Static phase: the cell's placement strategy against the reference
+	// surface. For "fra" the registry forwards to core.FRA with exactly
+	// the arguments this function used to pass, so a sweep cell still
+	// reproduces the Fig. 7 series bit for bit.
+	placer, err := strategy.LookupPlacement(name)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	p, err := placer.Place(ref, strategy.PlaceOptions{
+		K: c.K, Rc: c.Rc, GridN: s.GridN, Seed: c.Seed, Metrics: reg,
 	})
 	if err != nil {
-		res.Err = fmt.Sprintf("fra: %v", err)
+		res.Err = fmt.Sprintf("%s: %v", name, err)
 		return res
 	}
 	ev, err := core.Evaluate(ref, p, c.Rc, s.DeltaN)
 	if err != nil {
-		res.Err = fmt.Sprintf("evaluate fra: %v", err)
+		res.Err = fmt.Sprintf("evaluate %s: %v", name, err)
 		return res
 	}
-	res.DeltaFRA = ev.Delta
+	res.Delta = ev.Delta
 	res.Refined = p.Refined
 	res.Relays = p.Relays
 	res.Connected = ev.Connected
@@ -140,10 +162,12 @@ func RunCell(s *Spec, c Cell, reg *obs.Registry) (res Result) {
 	return res
 }
 
-// runMobileCell runs the cell's CMA swarm for Spec.Slots slots under the
-// cell's fault profile, mirroring eval.DegradationSweep's per-rate setup:
-// grid initial layout, robust curvature fits whenever faults are active,
-// and a collection tree maintained over the survivors.
+// runMobileCell runs the cell's movement swarm for Spec.Slots slots under
+// the cell's fault profile, mirroring eval.DegradationSweep's per-rate
+// setup: grid initial layout, robust curvature fits whenever faults are
+// active, and a collection tree maintained over the survivors. The
+// controllers come from the cell strategy's movement phase — CMA for
+// strategies without one of their own.
 func runMobileCell(s *Spec, c Cell, dyn field.DynField, reg *obs.Registry) (*MobileResult, error) {
 	opts := sim.DefaultOptions()
 	opts.Config.Region = dyn.Bounds()
@@ -152,6 +176,7 @@ func runMobileCell(s *Spec, c Cell, dyn field.DynField, reg *obs.Registry) (*Mob
 	opts.Seed = c.Seed
 	opts.Faults = c.Fault.NewInjector(c.K, s.Slots, c.Seed)
 	opts.Metrics = reg
+	opts.NewController = strategy.MovementFor(c.Strategy).NewController
 	w, err := sim.NewWorld(dyn, field.GridLayout(dyn.Bounds(), c.K), opts)
 	if err != nil {
 		return nil, err
@@ -171,5 +196,6 @@ func runMobileCell(s *Spec, c Cell, dyn field.DynField, reg *obs.Registry) (*Mob
 		Deaths:          row.Deaths,
 		Repairs:         row.Repairs,
 		Rebuilds:        row.Rebuilds,
+		Energy:          row.Energy,
 	}, nil
 }

@@ -228,11 +228,11 @@ func Run(spec Spec, opts RunOptions) (*Report, error) {
 			}
 			logMu.Lock()
 			if r.Err != "" {
-				fmt.Fprintf(logw, "cell %d/%d %s k=%d rc=%g rate=%g seed=%d: FAILED: %s\n",
-					i+1, len(cells), r.Field, r.K, r.Rc, r.FaultRate, r.Seed, r.Err)
+				fmt.Fprintf(logw, "cell %d/%d %s k=%d rc=%g %s rate=%g seed=%d: FAILED: %s\n",
+					i+1, len(cells), r.Field, r.K, r.Rc, r.Strategy, r.FaultRate, r.Seed, r.Err)
 			} else {
-				fmt.Fprintf(logw, "cell %d/%d %s k=%d rc=%g rate=%g seed=%d: δ=%.2f\n",
-					i+1, len(cells), r.Field, r.K, r.Rc, r.FaultRate, r.Seed, r.DeltaFRA)
+				fmt.Fprintf(logw, "cell %d/%d %s k=%d rc=%g %s rate=%g seed=%d: δ=%.2f\n",
+					i+1, len(cells), r.Field, r.K, r.Rc, r.Strategy, r.FaultRate, r.Seed, r.Delta)
 			}
 			logMu.Unlock()
 		}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/field"
 	"repro/internal/geom"
+	"repro/internal/strategy"
 )
 
 // FieldSpec selects and parameterizes one environment generator. Kind is
@@ -120,10 +121,10 @@ func (fs FieldSpec) Label() string {
 }
 
 // Spec is the declarative scenario grid: the sweep runs the cartesian
-// product Fields × Ks × Rcs × Faults × Seeds, with the resolution and
-// run-length knobs shared by every cell. Load one from JSON with
-// LoadSpec; zero optional fields take the documented defaults via
-// Normalize.
+// product Fields × Ks × Rcs × Strategies × Faults × Seeds, with the
+// resolution and run-length knobs shared by every cell. Load one from
+// JSON with LoadSpec; zero optional fields take the documented defaults
+// via Normalize.
 type Spec struct {
 	// Name labels the sweep in reports and output files.
 	Name string `json:"name"`
@@ -133,6 +134,12 @@ type Spec struct {
 	Ks []int `json:"ks"`
 	// Rcs are the communication radii.
 	Rcs []float64 `json:"rcs"`
+	// Strategies are the placement strategies to bench against each other,
+	// resolved from the strategy registry; empty defaults to ["fra"]. Each
+	// cell places with its strategy and, in the mobile phase, moves with
+	// the same-named movement strategy when one is registered (CMA
+	// otherwise — see strategy.MovementFor).
+	Strategies []string `json:"strategies,omitempty"`
 	// Faults are the fault profiles; empty defaults to the single
 	// fault-free profile.
 	Faults []fault.ProfileSpec `json:"faults,omitempty"`
@@ -153,6 +160,9 @@ type Spec struct {
 
 // Normalize fills the documented defaults in place.
 func (s *Spec) Normalize() {
+	if len(s.Strategies) == 0 {
+		s.Strategies = []string{"fra"}
+	}
 	if len(s.Faults) == 0 {
 		s.Faults = []fault.ProfileSpec{{}}
 	}
@@ -187,6 +197,12 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: rc=%g ≤ 0", rc)
 		}
 	}
+	for _, name := range s.Strategies {
+		if !strategy.HasPlacement(name) {
+			return fmt.Errorf("sweep: unknown strategy %q (registered: %s)",
+				name, strings.Join(strategy.PlacementNames(), ", "))
+		}
+	}
 	for _, fp := range s.Faults {
 		if err := fp.Validate(); err != nil {
 			return err
@@ -204,7 +220,7 @@ func (s *Spec) Validate() error {
 
 // NumCells is the size of the cartesian product.
 func (s *Spec) NumCells() int {
-	return len(s.Fields) * len(s.Ks) * len(s.Rcs) * len(s.Faults) * len(s.Seeds)
+	return len(s.Fields) * len(s.Ks) * len(s.Rcs) * len(s.Strategies) * len(s.Faults) * len(s.Seeds)
 }
 
 // Cell is one point of the scenario grid.
@@ -212,27 +228,31 @@ type Cell struct {
 	// Index is the cell's position in the fixed enumeration order
 	// (field-major, seed-minor); the aggregator orders output by it.
 	Index int
-	// Field, K, Rc, Fault and Seed are the cell's coordinates.
-	Field FieldSpec
-	K     int
-	Rc    float64
-	Fault fault.ProfileSpec
-	Seed  int64
+	// Field, K, Rc, Strategy, Fault and Seed are the cell's coordinates.
+	Field    FieldSpec
+	K        int
+	Rc       float64
+	Strategy string
+	Fault    fault.ProfileSpec
+	Seed     int64
 }
 
 // Cells enumerates the grid in the fixed deterministic order: fields
-// outermost, then ks, rcs, fault profiles, and seeds innermost.
+// outermost, then ks, rcs, strategies, fault profiles, and seeds
+// innermost.
 func (s *Spec) Cells() []Cell {
 	cells := make([]Cell, 0, s.NumCells())
 	for _, fs := range s.Fields {
 		for _, k := range s.Ks {
 			for _, rc := range s.Rcs {
-				for _, fp := range s.Faults {
-					for _, seed := range s.Seeds {
-						cells = append(cells, Cell{
-							Index: len(cells),
-							Field: fs, K: k, Rc: rc, Fault: fp, Seed: seed,
-						})
+				for _, st := range s.Strategies {
+					for _, fp := range s.Faults {
+						for _, seed := range s.Seeds {
+							cells = append(cells, Cell{
+								Index: len(cells),
+								Field: fs, K: k, Rc: rc, Strategy: st, Fault: fp, Seed: seed,
+							})
+						}
 					}
 				}
 			}
@@ -251,7 +271,7 @@ func (s *Spec) Digest(c Cell) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "field=%s|%d|%g|%d|%d|%g;", c.Field.Kind, c.Field.Seed, c.Field.Size,
 		c.Field.Gaps, c.Field.Levels, c.Field.Roughness)
-	fmt.Fprintf(h, "k=%d;rc=%g;fault=%g|%d;seed=%d;", c.K, c.Rc, c.Fault.Rate, c.Fault.Seed, c.Seed)
+	fmt.Fprintf(h, "k=%d;rc=%g;strategy=%s;fault=%g|%d;seed=%d;", c.K, c.Rc, c.Strategy, c.Fault.Rate, c.Fault.Seed, c.Seed)
 	fmt.Fprintf(h, "grid=%d;delta=%d;draws=%d;slots=%d", s.GridN, s.DeltaN, s.RandomDraws, s.Slots)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -301,15 +321,16 @@ func LoadSpecFile(path string) (Spec, error) {
 }
 
 // ExampleSpec is a small, fast grid exercising every axis — two field
-// shapes, three node counts, two fault profiles, static and mobile phases
-// — sized so a full run takes seconds. cmd/sweep -example prints it, CI
-// smokes it, and the README walks through it.
+// shapes, three node counts, two strategies, two fault profiles, static
+// and mobile phases — sized so a full run takes seconds. cmd/sweep
+// -example prints it, CI smokes it, and the README walks through it.
 func ExampleSpec() Spec {
 	s := Spec{
 		Name:        "example",
 		Fields:      []FieldSpec{{Kind: "forest"}, {Kind: "peaks"}},
 		Ks:          []int{10, 20, 40},
 		Rcs:         []float64{10},
+		Strategies:  []string{"fra", "lloyd"},
 		Faults:      []fault.ProfileSpec{{}, {Rate: 0.3}},
 		Seeds:       []int64{1},
 		GridN:       30,

@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// strategiesSpec is a bench-off grid: four placement strategies crossed
+// with two fields, two node counts and two seeds, plus a short mobile
+// phase so the same-named movement pairing (lloyd→lloyd, density→density,
+// fra/random→cma) runs too.
+func strategiesSpec() Spec {
+	s := Spec{
+		Name:       "bench-off",
+		Fields:     []FieldSpec{{Kind: "peaks"}, {Kind: "ridge"}},
+		Ks:         []int{4, 6},
+		Rcs:        []float64{40},
+		Strategies: []string{"fra", "lloyd", "density", "random"},
+		Seeds:      []int64{1, 2},
+		GridN:      10,
+		DeltaN:     10,
+		Slots:      3,
+	}
+	s.Normalize()
+	return s
+}
+
+// TestStrategiesAxisBitIdentical extends the sharding determinism
+// contract to the strategies axis: a four-strategy bench-off grid
+// aggregated under 4 workers is byte-identical to the serial run, every
+// cell echoes its strategy, and each strategy fills exactly its share of
+// the grid.
+func TestStrategiesAxisBitIdentical(t *testing.T) {
+	spec := strategiesSpec()
+	if n := spec.NumCells(); n != 32 {
+		t.Fatalf("grid has %d cells, want 32", n)
+	}
+	serial, err := Run(spec, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if !bytes.Equal(renderJSON(t, serial), renderJSON(t, parallel)) {
+		t.Fatal("workers=4 output differs from workers=1")
+	}
+	var csvA, csvB bytes.Buffer
+	if err := WriteCSV(&csvA, serial); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if err := WriteCSV(&csvB, parallel); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !bytes.Equal(csvA.Bytes(), csvB.Bytes()) {
+		t.Fatal("CSV output differs between worker counts")
+	}
+	header, _, _ := strings.Cut(csvA.String(), "\n")
+	for _, col := range []string{"strategy", "energy"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("CSV header %q missing %q column", header, col)
+		}
+	}
+
+	if serial.Failed != 0 || serial.Computed != 32 {
+		t.Fatalf("serial report: %+v", serial)
+	}
+	perStrategy := map[string]int{}
+	for _, r := range serial.Cells {
+		perStrategy[r.Strategy]++
+		if r.Mobile == nil {
+			t.Fatalf("cell %d (%s): no mobile phase", r.Index, r.Strategy)
+		}
+	}
+	for _, name := range spec.Strategies {
+		if perStrategy[name] != 8 {
+			t.Fatalf("strategy %q filled %d cells, want 8 (%v)", name, perStrategy[name], perStrategy)
+		}
+	}
+}
+
+// TestStrategiesResume interrupts the bench-off grid mid-run and resumes
+// it: the multi-strategy aggregate must replay byte-identically, exactly
+// like the single-strategy grid does.
+func TestStrategiesResume(t *testing.T) {
+	spec := strategiesSpec()
+	full, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	want := renderJSON(t, full)
+
+	ckpt := filepath.Join(t.TempDir(), "bench.ckpt")
+	part, err := Run(spec, RunOptions{Workers: 4, Checkpoint: ckpt, MaxCells: 13})
+	if err != nil {
+		t.Fatalf("partial run: %v", err)
+	}
+	if !part.Interrupted || len(part.Cells) != 13 {
+		t.Fatalf("partial run: interrupted=%v cells=%d, want true/13", part.Interrupted, len(part.Cells))
+	}
+	resumed, err := Run(spec, RunOptions{Workers: 4, Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed.Resumed != 13 || resumed.Computed != 19 {
+		t.Fatalf("resumed=%d computed=%d, want 13/19", resumed.Resumed, resumed.Computed)
+	}
+	if !bytes.Equal(renderJSON(t, resumed), want) {
+		t.Fatal("resumed output differs from uninterrupted run")
+	}
+}
+
+// TestStrategyValidation rejects unknown strategy names with the
+// registered list, mirroring the CLI's -strategies error.
+func TestStrategyValidation(t *testing.T) {
+	spec := strategiesSpec()
+	spec.Strategies = []string{"fra", "nope"}
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, want := range []string{`unknown strategy "nope"`, "registered:", "fra", "lloyd"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestDigestStrategySensitivity checks the checkpoint digest separates
+// cells by strategy: two cells identical except for the strategy — or a
+// legacy cell with no strategy at all — must never share a digest, so a
+// pre-strategy checkpoint cannot satisfy a bench-off cell.
+func TestDigestStrategySensitivity(t *testing.T) {
+	spec := strategiesSpec()
+	cell := spec.Cells()[0]
+	seen := map[string]string{spec.Digest(cell): cell.Strategy}
+	for _, name := range []string{"lloyd", "density", "random", ""} {
+		c := cell
+		c.Strategy = name
+		d := spec.Digest(c)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("strategy %q and %q share digest %s", name, prev, d)
+		}
+		seen[d] = name
+	}
+}
