@@ -23,6 +23,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
+	"repro/internal/serve"
 	"repro/internal/strategy"
 	"repro/internal/surface"
 )
@@ -112,8 +113,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s k=%d: δ=%.1f refined=%d relays=%d connected=%v components=%d mean_degree=%.2f\n",
-		strings.ToUpper(*strat), *k, ev.Delta, p.Refined, p.Relays, ev.Connected, ev.Components, ev.MeanDegree)
+	// The summary line is shared with the serving layer's /v1/place text
+	// response; ci/serve_smoke.sh compares the two byte for byte.
+	fmt.Println(serve.PlacementSummary(*strat, *k, p, ev))
 
 	if *quiet {
 		closeRun()

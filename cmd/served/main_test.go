@@ -1,0 +1,73 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestRealMainServesAndDrains boots the daemon on a random port through
+// the same realMain the CLI runs, serves a live placement over TCP,
+// then drains it via the injected stop channel and requires a clean
+// (exit 0) return with the listener closed.
+func TestRealMainServesAndDrains(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	cfg := config{
+		Addr:  "127.0.0.1:0",
+		Quiet: true,
+		Stop:  stop,
+		Ready: func(addr string) { ready <- addr },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- realMain(cfg, obs.NewRegistry()) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("realMain exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	base := "http://" + addr
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	req := `{"field":{"kind":"forest"},"k":10,"rc":10,"grid_n":30,"delta_n":30}`
+	resp, err = http.Post(base+"/v1/place?format=text", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "FRA k=10: ") {
+		t.Fatalf("place: %d %q", resp.StatusCode, body)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("realMain returned %v after drain, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("realMain did not return after stop")
+	}
+	if _, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}

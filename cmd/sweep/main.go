@@ -47,14 +47,13 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"repro/internal/dsweep"
 	"repro/internal/obs"
 	"repro/internal/obs/obscli"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 )
 
@@ -180,21 +179,15 @@ func realMain(cfg config, reg *obs.Registry) error {
 	return writeOutput(rep, cfg.Out, cfg.Format)
 }
 
-// stopOnSignal closes the returned channel on the first SIGINT or
-// SIGTERM — finish the cells in flight, checkpoint them, exit cleanly —
-// and restores default handling so a second signal kills the process
+// stopOnSignal is the shared context-on-signal helper (see
+// internal/serve.StopOnSignal, also used by cmd/served): the first
+// SIGINT/SIGTERM closes the channel — finish the cells in flight,
+// checkpoint them, exit cleanly — and a second signal kills the process
 // the usual way.
 func stopOnSignal() <-chan struct{} {
-	stop := make(chan struct{})
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sigs
+	return serve.StopOnSignal(func(s os.Signal) {
 		log.Printf("%s: finishing cells in flight (send again to kill)", s)
-		close(stop)
-		signal.Stop(sigs)
-	}()
-	return stop
+	})
 }
 
 // runServe hosts the distributed-sweep coordinator: serve leases until

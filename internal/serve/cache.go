@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// cache is the content-addressed result cache: responses keyed by an
+// FNV-1a digest of the request's result-affecting inputs, the same
+// idiom as sweep cell digests. Placement and evaluation are
+// deterministic functions of those inputs, so serving a cached entry is
+// byte-identical to recomputing it. Eviction is FIFO — the workload this
+// serves (repeated identical queries over a shared field) has no
+// recency structure worth an LRU's bookkeeping.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]cacheEntry
+	order   []string // insertion order, evicted front-first
+	hits    *obs.Counter
+	misses  *obs.Counter
+}
+
+// cacheEntry holds both renderings of one response so a text-format hit
+// never re-marshals.
+type cacheEntry struct {
+	json []byte
+	text string
+}
+
+// newCache returns a cache holding at most max entries; max < 0
+// disables caching (every get misses, puts are dropped).
+func newCache(max int, hits, misses *obs.Counter) *cache {
+	return &cache{
+		max:     max,
+		entries: make(map[string]cacheEntry),
+		hits:    hits,
+		misses:  misses,
+	}
+}
+
+func (c *cache) get(key string) (cacheEntry, bool) {
+	if c.max < 0 {
+		c.misses.Inc()
+		return cacheEntry{}, false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
+	return e, ok
+}
+
+func (c *cache) put(key string, e cacheEntry) {
+	if c.max < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	for len(c.entries) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+}

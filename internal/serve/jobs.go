@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sweep"
+)
+
+// Job states. A job moves queued → running → done/failed, or to
+// interrupted when a drain stops it first; interrupted jobs keep every
+// cell they streamed (and their on-disk checkpoint, when JobDir is set,
+// from which a batch -resume can finish the grid).
+const (
+	jobQueued      = "queued"
+	jobRunning     = "running"
+	jobDone        = "done"
+	jobFailed      = "failed"
+	jobInterrupted = "interrupted"
+)
+
+// job is one asynchronous sweep. lines accumulates the checkpoint-format
+// JSONL stream (header first, then one line per completed cell, in
+// completion order — exactly what the on-disk checkpoint holds); report
+// is the aggregated JSON, byte-identical to cmd/sweep's -out, once the
+// job is done.
+type job struct {
+	id     string
+	spec   sweep.Spec
+	digest string
+	total  int
+
+	mu     sync.Mutex
+	state  string
+	done   int
+	failed int
+	errMsg string
+	lines  bytes.Buffer
+	report []byte
+}
+
+// JobStatus is the poll response for one sweep job.
+type JobStatus struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	SpecDigest string `json:"spec_digest"`
+	State      string `json:"state"`
+	Total      int    `json:"total"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Error      string `json:"error,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.id, Name: j.spec.Name, SpecDigest: j.digest, State: j.state,
+		Total: j.total, Done: j.done, Failed: j.failed, Error: j.errMsg,
+	}
+}
+
+// appendResult streams one completed cell into the job's JSONL buffer;
+// it is the sweep.RunOptions.OnResult hook and runs on worker
+// goroutines.
+func (j *job) appendResult(r sweep.Result) {
+	line, err := sweep.CheckpointCell(r)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil { // cannot happen for a Result the engine produced
+		j.errMsg = err.Error()
+		return
+	}
+	j.lines.Write(line)
+	j.lines.WriteByte('\n')
+	j.done++
+	if r.Err != "" {
+		j.failed++
+	}
+}
+
+// jobPool runs submitted sweeps on a bounded in-process pool: at most
+// MaxJobs compute at once, at most QueueDepth more wait behind them,
+// and every job reuses the batch engine (sweep.Run) with the server's
+// stop channel wired in so a drain checkpoints in-flight cells and
+// parks the rest.
+type jobPool struct {
+	cfg Config
+	met serveMetrics
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	seq     int
+	sem     chan struct{}
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	drained bool
+}
+
+func newJobPool(cfg Config, met serveMetrics) *jobPool {
+	return &jobPool{
+		cfg:  cfg,
+		met:  met,
+		jobs: make(map[string]*job),
+		sem:  make(chan struct{}, cfg.MaxJobs),
+		stop: make(chan struct{}),
+	}
+}
+
+// submit registers a sweep job and schedules it. It returns false when
+// the pool's queue is full (the 429 path) or the pool is draining (503
+// is handled by the middleware before we get here, but a drain racing a
+// submit lands in the same refusal).
+func (p *jobPool) submit(spec sweep.Spec) (*job, bool) {
+	p.mu.Lock()
+	if p.drained {
+		p.mu.Unlock()
+		return nil, false
+	}
+	queued := 0
+	for _, j := range p.jobs {
+		if j.currentState() == jobQueued {
+			queued++
+		}
+	}
+	if queued >= p.cfg.QueueDepth {
+		p.mu.Unlock()
+		return nil, false
+	}
+	p.seq++
+	j := &job{
+		id:     fmt.Sprintf("j%d-%s", p.seq, spec.SpecDigest()[:8]),
+		spec:   spec,
+		digest: spec.SpecDigest(),
+		total:  spec.NumCells(),
+		state:  jobQueued,
+	}
+	p.jobs[j.id] = j
+	p.wg.Add(1)
+	p.mu.Unlock()
+
+	p.met.jobsSub.Inc()
+	go p.run(j)
+	return j, true
+}
+
+func (j *job) currentState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// run takes a compute slot, executes the sweep, and records the
+// outcome. The header line is written before the first cell so a
+// partially streamed job is still a well-formed checkpoint.
+func (p *jobPool) run(j *job) {
+	defer p.wg.Done()
+	select {
+	case p.sem <- struct{}{}:
+		defer func() { <-p.sem }()
+	case <-p.stop:
+		j.setState(jobInterrupted)
+		return
+	}
+	select {
+	case <-p.stop: // drained while queued on the slot
+		j.setState(jobInterrupted)
+		return
+	default:
+	}
+
+	j.setState(jobRunning)
+	p.met.jobsRun.Add(1)
+	defer p.met.jobsRun.Add(-1)
+	fmt.Fprintf(p.cfg.Log, "serve: job %s running: %s, %d cells\n", j.id, j.spec.Name, j.total)
+
+	header, err := sweep.CheckpointHeader(j.digest)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.mu.Lock()
+	j.lines.Write(header)
+	j.lines.WriteByte('\n')
+	j.mu.Unlock()
+
+	opts := sweep.RunOptions{
+		Workers:  p.cfg.SweepWorkers,
+		Stop:     p.stop,
+		Metrics:  p.cfg.Metrics,
+		OnResult: j.appendResult,
+	}
+	if p.cfg.JobDir != "" {
+		opts.Checkpoint = filepath.Join(p.cfg.JobDir, j.id+".ckpt")
+	}
+	rep, err := sweep.Run(j.spec, opts)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	if rep.Interrupted {
+		j.setState(jobInterrupted)
+		fmt.Fprintf(p.cfg.Log, "serve: job %s interrupted after %d/%d cells\n", j.id, len(rep.Cells), rep.Total)
+		return
+	}
+	var buf bytes.Buffer
+	if err := sweep.WriteJSON(&buf, rep); err != nil {
+		j.fail(err)
+		return
+	}
+	j.mu.Lock()
+	j.report = buf.Bytes()
+	j.state = jobDone
+	j.mu.Unlock()
+	p.met.jobsFin.Inc()
+	fmt.Fprintf(p.cfg.Log, "serve: job %s done: %d/%d cells (%d failed)\n", j.id, len(rep.Cells), rep.Total, rep.Failed)
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.state = jobFailed
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+}
+
+func (p *jobPool) get(id string) *job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jobs[id]
+}
+
+// drain refuses new jobs, stops running sweeps (they finish in-flight
+// cells and flush their checkpoints inside sweep.Run), and waits for
+// every job goroutine to park. Idempotent.
+func (p *jobPool) drain() {
+	p.mu.Lock()
+	if !p.drained {
+		p.drained = true
+		close(p.stop)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := sweep.LoadSpec(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	j, ok := s.jobs.submit(spec)
+	if !ok {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		httpError(w, http.StatusTooManyRequests, "job queue full; retry later")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleSweepResults streams the job's completed cells so far in the
+// sweep checkpoint JSONL format: the spec-digest header line, then one
+// self-checking line per cell in completion order — byte-compatible
+// with an on-disk checkpoint, so `sweep -resume` semantics and tooling
+// apply directly.
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	snapshot := append([]byte(nil), j.lines.Bytes()...)
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(snapshot)
+}
+
+// handleSweepReport serves the finished job's aggregate, byte-identical
+// to `cmd/sweep -out report.json` for the same spec.
+func (s *Server) handleSweepReport(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	state, report := j.state, j.report
+	j.mu.Unlock()
+	if state != jobDone {
+		httpError(w, http.StatusConflict, "job %s is %s, report available once done", j.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(report)
+}

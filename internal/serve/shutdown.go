@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// StopOnSignal returns a channel closed on the first SIGINT or SIGTERM —
+// the process-wide "stop accepting, finish in-flight work, exit cleanly"
+// trigger shared by cmd/sweep and cmd/served — and restores default
+// handling afterwards so a second signal kills the process the usual
+// way. notify, when non-nil, is called with the signal before the
+// channel closes (CLIs log a "finishing in flight" line from it).
+func StopOnSignal(notify func(os.Signal)) <-chan struct{} {
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		if notify != nil {
+			notify(s)
+		}
+		close(stop)
+		signal.Stop(sigs)
+	}()
+	return stop
+}

@@ -1,0 +1,29 @@
+package serve
+
+import (
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestStopOnSignal sends the process one real SIGTERM and asserts the
+// channel closes and the notify hook saw the signal. One signal only:
+// StopOnSignal restores default handling after firing, so a second
+// would kill the test binary.
+func TestStopOnSignal(t *testing.T) {
+	var got atomic.Value
+	stop := StopOnSignal(func(s os.Signal) { got.Store(s) })
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stop:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop channel not closed after SIGTERM")
+	}
+	if s, _ := got.Load().(os.Signal); s != syscall.SIGTERM {
+		t.Fatalf("notify saw %v, want SIGTERM", s)
+	}
+}

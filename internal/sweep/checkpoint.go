@@ -35,6 +35,33 @@ type checkpointLine struct {
 	Sum    string          `json:"sum,omitempty"`
 }
 
+// CheckpointHeader renders the header line that binds a checkpoint
+// stream to its spec. It is shared by CheckpointWriter and by the serve
+// layer, whose in-memory job streams speak the same JSONL format as the
+// on-disk file.
+func CheckpointHeader(specDigest string) ([]byte, error) {
+	line, err := json.Marshal(checkpointLine{SpecDigest: specDigest})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal checkpoint header: %w", err)
+	}
+	return line, nil
+}
+
+// CheckpointCell renders one completed cell in the checkpoint line
+// format: the cell digest, the raw Result, and the integrity sum over
+// both.
+func CheckpointCell(r Result) ([]byte, error) {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal checkpoint entry: %w", err)
+	}
+	line, err := json.Marshal(checkpointLine{Digest: r.Digest, Result: raw, Sum: IntegritySum(r.Digest, raw)})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal checkpoint entry: %w", err)
+	}
+	return line, nil
+}
+
 // IntegritySum is the FNV-1a 64 self-checksum attached to checkpoint
 // cell lines and to distributed result submissions: the cell digest, a
 // separator, and the marshaled Result bytes. It detects torn or
@@ -145,10 +172,10 @@ func NewCheckpointWriter(path, specDigest string, resume bool) (*CheckpointWrite
 		return nil, fmt.Errorf("sweep: stat checkpoint: %w", err)
 	}
 	if st.Size() == 0 {
-		line, err := json.Marshal(checkpointLine{SpecDigest: specDigest})
+		line, err := CheckpointHeader(specDigest)
 		if err != nil {
 			f.Close()
-			return nil, fmt.Errorf("sweep: marshal checkpoint header: %w", err)
+			return nil, err
 		}
 		if err := c.writeLine(line); err != nil {
 			f.Close()
@@ -176,13 +203,9 @@ func (c *CheckpointWriter) writeLine(line []byte) error {
 
 // Append records one completed cell.
 func (c *CheckpointWriter) Append(r Result) error {
-	raw, err := json.Marshal(r)
+	line, err := CheckpointCell(r)
 	if err != nil {
-		return fmt.Errorf("sweep: marshal checkpoint entry: %w", err)
-	}
-	line, err := json.Marshal(checkpointLine{Digest: r.Digest, Result: raw, Sum: IntegritySum(r.Digest, raw)})
-	if err != nil {
-		return fmt.Errorf("sweep: marshal checkpoint entry: %w", err)
+		return err
 	}
 	return c.writeLine(line)
 }

@@ -36,6 +36,14 @@ type RunOptions struct {
 	// worker-pool gauges sweep_workers / sweep_workers_busy.
 	// Observation only: results are bit-identical either way.
 	Metrics *obs.Registry
+	// OnResult, when non-nil, is invoked once per newly computed cell
+	// right after the cell is durably checkpointed (or immediately, with
+	// no checkpoint configured). It runs on worker goroutines, so
+	// implementations must be safe for concurrent use. Replayed (resumed)
+	// cells are not announced. This is the job-runner hook the serve
+	// layer streams live sweep progress from; it observes results and
+	// must not mutate them.
+	OnResult func(Result)
 	// Log, when non-nil, receives one progress line per finished cell.
 	// Progress lines are for humans; only the aggregated output is
 	// deterministic.
@@ -225,6 +233,9 @@ func Run(spec Spec, opts RunOptions) (*Report, error) {
 					ckptErr.CompareAndSwap(nil, ckptFailure{err})
 					return
 				}
+			}
+			if opts.OnResult != nil {
+				opts.OnResult(r)
 			}
 			logMu.Lock()
 			if r.Err != "" {
