@@ -79,7 +79,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare two report files: bench -compare base.json pr.json")
 		tol      = flag.Float64("tol", 0.15, "allowed ns/op regression fraction in -compare mode")
 		allocTol = flag.Float64("alloctol", 0.10, "allowed allocs/bytes per-op regression fraction in -compare mode")
-		gate     = flag.String("gate", "fra_k500,step_large_n,lloyd_k500", "comma-separated scenarios that fail -compare on regression")
+		gate     = flag.String("gate", "fra_k500,step_large_n,lloyd_k500,plume_round", "comma-separated scenarios that fail -compare on regression")
 	)
 	flag.Parse()
 
@@ -190,8 +190,9 @@ type scenario struct {
 
 // scenarios returns the canonical suite: the two FRA placements and the
 // Lloyd placement the CI gate watches, the n=2000 engine step, one OSTD
-// simulation round, and the 100k-node swarm slot that exists to keep
-// steady-state stepping allocation-free at scale.
+// simulation round over the forest and one over the splitting plume, and
+// the 100k-node swarm slot that exists to keep steady-state stepping
+// allocation-free at scale.
 func scenarios(forest *field.Forest) []scenario {
 	ref := forest.Reference()
 	return []scenario{
@@ -200,8 +201,18 @@ func scenarios(forest *field.Forest) []scenario {
 		{"lloyd_k500", 3, benchPlacement(ref, "lloyd", 500)},
 		{"step_large_n", 5, benchStep(forest, randomLayout(forest.Bounds(), 2000, 17), nil)},
 		{"ostd_round", 5, benchStep(forest, field.GridLayout(forest.Bounds(), 100), nil)},
+		{"plume_round", 5, benchPlumeRound()},
 		{"step_100k", 2, bench100k()},
 	}
+}
+
+// benchPlumeRound measures one simulation slot of a 100-node swarm
+// tracking a splitting two-source plume — the closed-form dynamic
+// environment's hot path, where EvalAt cost multiplies across every
+// sensed sample every slot.
+func benchPlumeRound() func(b *testing.B) {
+	plume := field.PlumeScenario(geom.Square(100), 2, 2, 0.6, 0.8, 0.01, 15)
+	return benchStep(plume, field.GridLayout(plume.Bounds(), 100), nil)
 }
 
 // bench100k builds the 100k-node scenario: a 1 km² forest with a connected
@@ -252,13 +263,13 @@ func benchPlacement(ref field.Field, name string, k int) func(b *testing.B) {
 // The field is time-varying, so successive iterations sample successive
 // slots — the same regime the CI engine smoke measures. A non-nil cfg
 // overrides the default per-node configuration.
-func benchStep(forest *field.Forest, init []geom.Vec2, cfg *mobile.Config) func(b *testing.B) {
+func benchStep(dyn field.DynField, init []geom.Vec2, cfg *mobile.Config) func(b *testing.B) {
 	return func(b *testing.B) {
 		opts := sim.DefaultOptions()
 		if cfg != nil {
 			opts.Config = *cfg
 		}
-		w, err := sim.NewWorld(forest, init, opts)
+		w, err := sim.NewWorld(dyn, init, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

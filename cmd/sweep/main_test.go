@@ -44,7 +44,7 @@ func TestWriteExampleRoundTrips(t *testing.T) {
 			t.Errorf("example spec leaves %s at its zero value", v.Type().Field(i).Name)
 		}
 	}
-	if !reflect.DeepEqual(spec.Strategies, []string{"fra", "lloyd"}) {
+	if !reflect.DeepEqual(spec.Strategies, []string{"fra", "lloyd", "tour"}) {
 		t.Fatalf("example strategies did not round-trip: %v", spec.Strategies)
 	}
 	var faulty bool

@@ -1,12 +1,16 @@
 // Plumetracker: a mobile CPS swarm tracks an advecting pollutant plume —
 // a sharply time-varying environment where the paper's stationary (OSD)
-// solution is useless by construction. The example also probes the
+// solution is useless by construction. The plume is the library's
+// advection–diffusion field: two releases carried by one wind, the
+// second splitting into twin lobes mid-run. The example also probes the
 // paper's named future-work idea, trace sampling, and demonstrates its
 // limit: path samples densify the reconstruction of slowly varying fields
 // (see the forest experiments), but for a fast-moving plume even
 // two-minute-old samples describe a world that no longer exists, so the
-// freshness window has to shrink until the benefit disappears. It closes
-// with the cost of reporting data back through the connected network.
+// freshness window has to shrink until the benefit disappears. That
+// conclusion is pinned by TestFreshnessWindow, not just asserted in
+// prose. It closes with the cost of reporting data back through the
+// connected network.
 package main
 
 import (
@@ -19,11 +23,15 @@ import (
 func newPlume() *repro.Plume {
 	return &repro.Plume{
 		Region:        repro.Square(100),
-		Source:        repro.V2(20, 30),
 		Wind:          repro.V2(0.8, 0.5), // meters per minute
-		Mass:          500,
-		Sigma0:        6,
 		DiffusionRate: 0.8,
+		Sources: []repro.PlumeSource{
+			{Origin: repro.V2(20, 30), Mass: 500, Sigma0: 6},
+			// A second release ten minutes in that splits into twin
+			// lobes: the swarm must re-track a bifurcating target.
+			{Origin: repro.V2(60, 60), T0: 10, Mass: 300, Sigma0: 5,
+				SplitAt: 15, SplitSpeed: 0.6},
+		},
 	}
 }
 

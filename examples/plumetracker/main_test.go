@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// TestFreshnessWindow pins the example's documented conclusion: on this
+// wind speed the plume outruns its own history, so an 8-minute trace
+// freshness window reconstructs a world that no longer exists and makes
+// δ worse than point samples alone, while shrinking the window to one
+// minute shrinks the damage.
+func TestFreshnessWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 20-slot mobile runs")
+	}
+	pointStale, tracedStale, _ := run(8)
+	if tracedStale < pointStale {
+		t.Errorf("8-minute window: traced δ=%v beat point δ=%v; the documented staleness conclusion no longer holds",
+			tracedStale, pointStale)
+	}
+	pointFresh, tracedFresh, _ := run(1)
+	if harmStale, harmFresh := tracedStale-pointStale, tracedFresh-pointFresh; harmFresh > harmStale {
+		t.Errorf("1-minute window harm %v exceeds 8-minute harm %v; shrinking the freshness window should help",
+			harmFresh, harmStale)
+	}
+}

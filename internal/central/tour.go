@@ -1,0 +1,125 @@
+package central
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Tour planning for budget-constrained patrols, after Dutta et al.'s
+// robot-tours formulation (PAPERS.md): a node stationed at a home point
+// must visit observation stops along a closed tour whose total length
+// may not exceed a travel budget. PlanTour is the centralized, purely
+// geometric piece — the strategy layer wraps it into a strictly local
+// movement controller that builds its stop set from sensed samples only.
+//
+// The heuristic is cheapest insertion: grow the tour one stop at a time,
+// always choosing the (stop, position) pair with the smallest length
+// increase, and stop when the cheapest insertion would break the budget.
+// Two properties make it a clean fuzz oracle (FuzzTourLength): the first
+// insertion costs exactly 2·d(home, s) for the nearest stop s — and any
+// closed tour through home and s has length ≥ 2·d(home, s) — so the
+// greedy tour is non-empty exactly when any non-empty tour is feasible;
+// and the returned tour's independently recomputed length never exceeds
+// the budget, because candidates are re-measured, not trusted from
+// accumulated increments.
+
+// TourLength returns the length of the closed tour home → stops[0] →
+// … → stops[n-1] → home. An empty tour has length 0.
+func TourLength(home geom.Vec2, stops []geom.Vec2) float64 {
+	if len(stops) == 0 {
+		return 0
+	}
+	total := home.Dist(stops[0])
+	for i := 1; i < len(stops); i++ {
+		total += stops[i-1].Dist(stops[i])
+	}
+	return total + stops[len(stops)-1].Dist(home)
+}
+
+// PlanTourIndices plans a closed tour from home through a subset of
+// stops with TourLength ≤ budget, returning the visited stops as indices
+// into stops, in visit order. Stops with non-finite coordinates are
+// skipped. The result is a deterministic function of the inputs: ties in
+// the cheapest-insertion scan resolve to the lowest stop index and the
+// earliest insertion position.
+func PlanTourIndices(home geom.Vec2, stops []geom.Vec2, budget float64) []int {
+	if !(budget > 0) { // also rejects NaN
+		return nil
+	}
+	usable := make([]int, 0, len(stops))
+	for i, s := range stops {
+		if isFiniteVec(s) {
+			usable = append(usable, i)
+		}
+	}
+	var tour []int // indices into stops, visit order
+	used := make(map[int]bool)
+	pos := func(i int) geom.Vec2 { return stops[i] }
+	for len(tour) < len(usable) {
+		bestStop, bestAt, bestInc := -1, 0, math.Inf(1)
+		for _, s := range usable {
+			if used[s] {
+				continue
+			}
+			if len(tour) == 0 {
+				if inc := 2 * home.Dist(pos(s)); inc < bestInc {
+					bestStop, bestAt, bestInc = s, 0, inc
+				}
+				continue
+			}
+			for at := 0; at <= len(tour); at++ {
+				prev, next := home, home
+				if at > 0 {
+					prev = pos(tour[at-1])
+				}
+				if at < len(tour) {
+					next = pos(tour[at])
+				}
+				inc := prev.Dist(pos(s)) + pos(s).Dist(next) - prev.Dist(next)
+				if inc < bestInc {
+					bestStop, bestAt, bestInc = s, at, inc
+				}
+			}
+		}
+		if bestStop < 0 {
+			break
+		}
+		candidate := make([]int, 0, len(tour)+1)
+		candidate = append(candidate, tour[:bestAt]...)
+		candidate = append(candidate, bestStop)
+		candidate = append(candidate, tour[bestAt:]...)
+		// Re-measure the candidate from scratch: accumulated increments
+		// can drift a few ULPs from the true length, and the budget
+		// invariant must hold against an independent recomputation.
+		if length := tourLengthIdx(home, stops, candidate); !(length <= budget) {
+			break
+		}
+		tour = candidate
+		used[bestStop] = true
+	}
+	return tour
+}
+
+// PlanTour is PlanTourIndices resolved to positions.
+func PlanTour(home geom.Vec2, stops []geom.Vec2, budget float64) []geom.Vec2 {
+	idx := PlanTourIndices(home, stops, budget)
+	out := make([]geom.Vec2, len(idx))
+	for i, j := range idx {
+		out[i] = stops[j]
+	}
+	return out
+}
+
+func tourLengthIdx(home geom.Vec2, stops []geom.Vec2, tour []int) float64 {
+	pts := make([]geom.Vec2, len(tour))
+	for i, j := range tour {
+		pts[i] = stops[j]
+	}
+	return TourLength(home, pts)
+}
+
+func isFiniteVec(v geom.Vec2) bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0)
+}

@@ -1,0 +1,142 @@
+package central
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// fuzzCoord maps one fuzz byte to a coordinate on a quarter-unit lattice,
+// reserving three values for the non-finite cases the planner must skip.
+func fuzzCoord(b byte) float64 {
+	switch b {
+	case 0xFF:
+		return math.NaN()
+	case 0xFE:
+		return math.Inf(1)
+	case 0xFD:
+		return math.Inf(-1)
+	}
+	return (float64(b) - 126) / 4
+}
+
+// bruteMinTour enumerates every ordered non-empty subset of stops and
+// returns the minimum closed-tour length — the exact oracle the greedy
+// planner is checked against at small n.
+func bruteMinTour(home geom.Vec2, stops []geom.Vec2) float64 {
+	minLen := math.Inf(1)
+	used := make([]bool, len(stops))
+	seq := make([]geom.Vec2, 0, len(stops))
+	var rec func()
+	rec = func() {
+		if len(seq) > 0 {
+			if l := TourLength(home, seq); l < minLen {
+				minLen = l
+			}
+		}
+		for i := range stops {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			seq = append(seq, stops[i])
+			rec()
+			seq = seq[:len(seq)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return minLen
+}
+
+// FuzzTourLength drives PlanTourIndices over arbitrary stop sets and
+// budgets (including NaN coordinates, infinities, and degenerate
+// budgets). Invariants: planned indices are distinct, in range, and
+// finite; the independently recomputed tour length never exceeds the
+// budget; the plan is non-empty exactly when some single-stop tour fits
+// (exact in floating point, since the out-and-back 2·d equals d+d);
+// doubling the budget never shrinks the tour; and when the greedy plan is
+// empty, a brute-force search over all ordered subsets finds no tour
+// under the budget either (modulo 1e-9 relative slack).
+func FuzzTourLength(f *testing.F) {
+	f.Add([]byte{0x08, 0x00, 126, 126, 146, 126, 126, 146, 106, 126})
+	f.Add([]byte{0xFF, 0xFF, 126, 126, 146, 126})
+	f.Add([]byte{0x40, 0x00, 0xFF, 126, 146, 126, 0xFE, 0xFD})
+	f.Add([]byte{0x00, 0x01, 126, 126})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		budget := float64(uint16(data[0])<<8|uint16(data[1])) / 256
+		if data[0] == 0xFF && data[1] == 0xFF {
+			budget = math.NaN()
+		}
+		home := geom.V2(float64(data[2])/4-31, float64(data[3])/4-31)
+		var stops []geom.Vec2
+		for i := 4; i+1 < len(data) && len(stops) < 6; i += 2 {
+			stops = append(stops, geom.V2(fuzzCoord(data[i]), fuzzCoord(data[i+1])))
+		}
+
+		tour := PlanTourIndices(home, stops, budget)
+
+		// Indices: in range, distinct, finite stops only.
+		seen := make(map[int]bool)
+		for _, i := range tour {
+			if i < 0 || i >= len(stops) {
+				t.Fatalf("index %d out of range (n=%d)", i, len(stops))
+			}
+			if seen[i] {
+				t.Fatalf("stop %d visited twice: %v", i, tour)
+			}
+			seen[i] = true
+			if !isFiniteVec(stops[i]) {
+				t.Fatalf("planned non-finite stop %d: %v", i, stops[i])
+			}
+		}
+
+		// Budget invariant against an independent recomputation.
+		pts := make([]geom.Vec2, len(tour))
+		for j, i := range tour {
+			pts[j] = stops[i]
+		}
+		if length := TourLength(home, pts); len(tour) > 0 && !(length <= budget) {
+			t.Fatalf("tour %v length %g exceeds budget %g", tour, length, budget)
+		}
+
+		// Feasibility is exact: non-empty plan iff the budget is positive
+		// (the planner's documented precondition) and some out-and-back
+		// fits within it.
+		feasible := false
+		for _, s := range stops {
+			if budget > 0 && isFiniteVec(s) && 2*home.Dist(s) <= budget {
+				feasible = true
+				break
+			}
+		}
+		if feasible != (len(tour) > 0) {
+			t.Fatalf("feasible=%v but tour=%v (budget %g)", feasible, tour, budget)
+		}
+
+		// Budget monotonicity: more budget never means fewer stops.
+		if bigger := PlanTourIndices(home, stops, 2*budget); len(bigger) < len(tour) {
+			t.Fatalf("budget %g planned %d stops but %g planned %d",
+				budget, len(tour), 2*budget, len(bigger))
+		}
+
+		// Brute-force oracle: when the greedy plan is empty, no ordered
+		// subset may fit the (slightly shrunk) budget either.
+		if len(tour) == 0 {
+			finite := stops[:0:0]
+			for _, s := range stops {
+				if isFiniteVec(s) {
+					finite = append(finite, s)
+				}
+			}
+			slack := 1e-9 * (1 + math.Abs(budget))
+			if min := bruteMinTour(home, finite); min <= budget-slack {
+				t.Fatalf("greedy found nothing but a tour of length %g fits budget %g", min, budget)
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package central
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestTourLength pins the closed-loop measure on hand-checkable shapes.
+func TestTourLength(t *testing.T) {
+	home := geom.V2(0, 0)
+	if got := TourLength(home, nil); got != 0 {
+		t.Errorf("empty tour length = %g", got)
+	}
+	if got := TourLength(home, []geom.Vec2{geom.V2(3, 4)}); got != 10 {
+		t.Errorf("single-stop out-and-back = %g, want 10", got)
+	}
+	square := []geom.Vec2{geom.V2(10, 0), geom.V2(10, 10), geom.V2(0, 10)}
+	if got := TourLength(home, square); got != 40 {
+		t.Errorf("unit-square tour = %g, want 40", got)
+	}
+}
+
+// TestPlanTourBudget walks the budget through the single-stop thresholds:
+// below 2·d(home, nearest) nothing is feasible, and each stop joins as
+// the budget admits it.
+func TestPlanTourBudget(t *testing.T) {
+	home := geom.V2(0, 0)
+	stops := []geom.Vec2{geom.V2(5, 0), geom.V2(-3, 0)}
+	if got := PlanTourIndices(home, stops, 5.9); got != nil {
+		t.Errorf("infeasible budget returned %v", got)
+	}
+	if got := PlanTourIndices(home, stops, 6); len(got) != 1 || got[0] != 1 {
+		t.Errorf("budget 6: %v, want [1]", got)
+	}
+	if got := PlanTourIndices(home, stops, 16); len(got) != 2 {
+		t.Errorf("budget 16: %v, want both stops", got)
+	}
+	if got := PlanTourIndices(home, stops, 0); got != nil {
+		t.Errorf("zero budget returned %v", got)
+	}
+	if got := PlanTourIndices(home, stops, math.NaN()); got != nil {
+		t.Errorf("NaN budget returned %v", got)
+	}
+}
+
+// TestPlanTourSkipsNonFinite: NaN/Inf stops are invisible to the planner
+// but do not shift the indices of the finite ones.
+func TestPlanTourSkipsNonFinite(t *testing.T) {
+	home := geom.V2(0, 0)
+	stops := []geom.Vec2{
+		{X: math.NaN(), Y: 0},
+		geom.V2(2, 0),
+		{X: math.Inf(1), Y: 1},
+		geom.V2(0, 2),
+	}
+	got := PlanTourIndices(home, stops, 100)
+	if len(got) != 2 {
+		t.Fatalf("planned %v, want two finite stops", got)
+	}
+	for _, i := range got {
+		if i != 1 && i != 3 {
+			t.Fatalf("planned non-finite stop %d: %v", i, got)
+		}
+	}
+}
+
+// TestPlanTourDeterministicTies: equidistant stops resolve to the lowest
+// index, making the plan a pure function of its inputs.
+func TestPlanTourDeterministicTies(t *testing.T) {
+	home := geom.V2(0, 0)
+	stops := []geom.Vec2{geom.V2(4, 0), geom.V2(-4, 0), geom.V2(0, 4)}
+	a := PlanTourIndices(home, stops, 8)
+	if len(a) != 1 || a[0] != 0 {
+		t.Fatalf("tie broke to %v, want [0]", a)
+	}
+	b := PlanTourIndices(home, stops, 8)
+	if len(b) != 1 || b[0] != 0 {
+		t.Fatalf("replanning diverged: %v", b)
+	}
+}
+
+// TestPlanTourPositions: PlanTour resolves indices to coordinates in
+// visit order.
+func TestPlanTourPositions(t *testing.T) {
+	home := geom.V2(0, 0)
+	stops := []geom.Vec2{geom.V2(1, 0), geom.V2(2, 0)}
+	pts := PlanTour(home, stops, 100)
+	if len(pts) != 2 {
+		t.Fatalf("PlanTour = %v", pts)
+	}
+	if TourLength(home, pts) > 100 {
+		t.Fatal("resolved tour exceeds budget")
+	}
+}

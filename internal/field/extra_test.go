@@ -80,11 +80,11 @@ func TestTerrainEvalClampsOutside(t *testing.T) {
 func TestPlumeAdvectsAndDiffuses(t *testing.T) {
 	p := &Plume{
 		Region:        geom.Square(100),
-		Source:        geom.V2(20, 50),
 		Wind:          geom.V2(1, 0),
-		Mass:          100,
-		Sigma0:        3,
 		DiffusionRate: 0.5,
+		Sources: []PlumeSource{
+			{Origin: geom.V2(20, 50), Mass: 100, Sigma0: 3},
+		},
 	}
 	// At t=0 the peak is at the source.
 	if p.EvalAt(geom.V2(20, 50), 0) <= p.EvalAt(geom.V2(40, 50), 0) {
@@ -111,9 +111,23 @@ func TestPlumeAdvectsAndDiffuses(t *testing.T) {
 }
 
 func TestPlumeDegenerateSigma(t *testing.T) {
-	p := &Plume{Region: geom.Square(10), Sigma0: 0, DiffusionRate: 0}
+	p := &Plume{
+		Region:  geom.Square(10),
+		Sources: []PlumeSource{{Origin: geom.V2(5, 5), Mass: 1, Sigma0: 0}},
+	}
 	if got := p.EvalAt(geom.V2(5, 5), 3); got != 0 {
 		t.Errorf("zero-spread plume = %v", got)
+	}
+	// A source contributes nothing before its release time.
+	late := &Plume{
+		Region:  geom.Square(10),
+		Sources: []PlumeSource{{Origin: geom.V2(5, 5), T0: 10, Mass: 1, Sigma0: 2}},
+	}
+	if got := late.EvalAt(geom.V2(5, 5), 3); got != 0 {
+		t.Errorf("pre-release plume = %v", got)
+	}
+	if got := late.EvalAt(geom.V2(5, 5), 10); got <= 0 {
+		t.Errorf("released plume = %v", got)
 	}
 }
 

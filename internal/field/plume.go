@@ -1,0 +1,161 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// This file is the advection–diffusion plume scenario family (ROADMAP
+// item 4a): a strongly time-varying DynField built from the closed-form
+// Gaussian solution of the 2D advection–diffusion equation, superposed
+// over any number of releases. Everything is evaluated analytically —
+// no time stepping, no grids — so EvalAt is an exact, deterministic
+// function of (query, t) and the golden bit-identity tests can pin
+// trajectories over it.
+
+// PlumeSource is one pollutant release feeding a Plume. A source becomes
+// active at T0, drifts with the plume's shared wind, spreads by
+// diffusion, optionally decays, and optionally splits into two half-mass
+// lobes partway through — the drifting/splitting/decaying dynamics the
+// plumetracker scenario needs.
+type PlumeSource struct {
+	// Origin is the release position at time T0.
+	Origin geom.Vec2
+	// T0 is the release time in minutes; the source contributes nothing
+	// before it.
+	T0 float64
+	// Mass is the released quantity (the Gaussian's integral over the
+	// plane; peak scales as Mass/σ²).
+	Mass float64
+	// Sigma0 is the initial spread in meters.
+	Sigma0 float64
+	// Decay is the first-order mass-loss rate per minute: mass(t) =
+	// Mass·exp(−Decay·(t−T0)). Zero conserves mass exactly.
+	Decay float64
+	// SplitAt, when positive, splits the source at that absolute time
+	// into two lobes of half mass each, whose centers separate along
+	// ±SplitAxis at SplitSpeed meters per minute while both keep
+	// advecting with the wind.
+	SplitAt float64
+	// SplitSpeed is the lobe separation speed after SplitAt.
+	SplitSpeed float64
+	// SplitAxis is the unit separation direction; the zero vector
+	// defaults to (0, 1). It is deliberately explicit (not derived from
+	// the wind) so advection equivariance holds for split sources too.
+	SplitAxis geom.Vec2
+}
+
+// Plume is an advection–diffusion pollutant field: the superposition of
+// the closed-form Gaussian solutions for each source, all carried by one
+// wind and spread by one diffusion rate. It implements DynField.
+//
+// For a single un-split source the value at query q and time t ≥ T0 is
+//
+//	mass(t) / (2π σ²(t)) · exp(−|q − c(t)|² / (2 σ²(t)))
+//
+// with σ²(t) = Sigma0² + DiffusionRate·(t−T0) and c(t) = Origin +
+// Wind·(t−T0). Two exact symmetries are pinned by metamorphic tests:
+// scaling all lengths by a power of two (and DiffusionRate by its
+// square) scales values by exactly s⁻², and adding a wind w equals
+// translating queries by w·t for T0 = 0 sources.
+type Plume struct {
+	// Region is the field's domain.
+	Region geom.Rect
+	// Wind is the shared advection velocity in meters per minute.
+	Wind geom.Vec2
+	// DiffusionRate grows every source's σ² linearly with its age:
+	// σ²(t) = Sigma0² + DiffusionRate·(t−T0).
+	DiffusionRate float64
+	// Sources are the releases; their contributions add.
+	Sources []PlumeSource
+}
+
+// Bounds implements DynField.
+func (p *Plume) Bounds() geom.Rect { return p.Region }
+
+// EvalAt implements DynField by closed-form superposition.
+func (p *Plume) EvalAt(q geom.Vec2, t float64) float64 {
+	sum := 0.0
+	for i := range p.Sources {
+		sum += p.Sources[i].evalAt(q, t, p.Wind, p.DiffusionRate)
+	}
+	return sum
+}
+
+// evalAt is one source's closed-form contribution.
+func (s *PlumeSource) evalAt(q geom.Vec2, t float64, wind geom.Vec2, rate float64) float64 {
+	age := t - s.T0
+	if !(age >= 0) { // also rejects NaN
+		return 0
+	}
+	sigma2 := s.Sigma0*s.Sigma0 + rate*age
+	if !(sigma2 > 0) {
+		return 0
+	}
+	mass := s.Mass
+	if s.Decay != 0 {
+		mass *= math.Exp(-s.Decay * age)
+	}
+	center := s.Origin.Add(wind.Scale(age))
+	if s.SplitAt > 0 && t >= s.SplitAt {
+		axis := s.SplitAxis
+		if axis == (geom.Vec2{}) {
+			axis = geom.V2(0, 1)
+		}
+		off := axis.Scale(s.SplitSpeed * (t - s.SplitAt))
+		return gauss(q, center.Add(off), mass/2, sigma2) +
+			gauss(q, center.Sub(off), mass/2, sigma2)
+	}
+	return gauss(q, center, mass, sigma2)
+}
+
+// gauss is the normalized 2D Gaussian: integral over the plane = mass.
+func gauss(q, center geom.Vec2, mass, sigma2 float64) float64 {
+	d2 := q.Dist2(center)
+	return mass / (2 * math.Pi * sigma2) * math.Exp(-d2/(2*sigma2))
+}
+
+// PlumeScenario deterministically builds a multi-source plume over
+// region from a seed: a random wind direction at the given speed, and
+// nSources releases in the inner 60% of the region with staggered
+// release times (source 0 at t = 0, later ones every 2 minutes). When
+// splitAt > 0, every even source splits at that time along a random
+// axis. This is the constructor the sweep's "plume" DynFieldSpec and the
+// plume_round bench build their workloads through, so its layout must
+// stay a pure function of the arguments.
+func PlumeScenario(region geom.Rect, seed int64, nSources int, windSpeed, diffusion, decay, splitAt float64) *Plume {
+	if nSources < 1 {
+		nSources = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dir := rng.Float64() * 2 * math.Pi
+	p := &Plume{
+		Region:        region,
+		Wind:          geom.V2(math.Cos(dir), math.Sin(dir)).Scale(windSpeed),
+		DiffusionRate: diffusion,
+	}
+	w, h := region.Width(), region.Height()
+	scale := (w + h) / 2
+	for i := 0; i < nSources; i++ {
+		src := PlumeSource{
+			Origin: geom.V2(
+				region.Min.X+w*(0.2+0.6*rng.Float64()),
+				region.Min.Y+h*(0.2+0.6*rng.Float64()),
+			),
+			T0:     2 * float64(i),
+			Mass:   300 + 400*rng.Float64(),
+			Sigma0: scale / 16 * (0.75 + 0.5*rng.Float64()),
+			Decay:  decay,
+		}
+		if splitAt > 0 && i%2 == 0 {
+			a := rng.Float64() * 2 * math.Pi
+			src.SplitAt = splitAt
+			src.SplitSpeed = 0.2 + windSpeed/2
+			src.SplitAxis = geom.V2(math.Cos(a), math.Sin(a))
+		}
+		p.Sources = append(p.Sources, src)
+	}
+	return p
+}

@@ -1,0 +1,154 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// testPlume is a two-source plume exercising every dynamic: drift,
+// diffusion, a staggered release, and a split into twin lobes.
+func testPlume() *Plume {
+	return &Plume{
+		Region:        geom.Square(200),
+		Wind:          geom.V2(0.5, 0.25),
+		DiffusionRate: 0.5,
+		Sources: []PlumeSource{
+			{Origin: geom.V2(80, 100), Mass: 500, Sigma0: 4},
+			{Origin: geom.V2(120, 90), Mass: 300, Sigma0: 5,
+				SplitAt: 5, SplitSpeed: 0.8, SplitAxis: geom.V2(0, 1)},
+		},
+	}
+}
+
+// quadrature integrates the plume over its region with the midpoint rule
+// on an n×n lattice.
+func quadrature(p *Plume, t float64, n int) float64 {
+	r := p.Region
+	dx, dy := r.Width()/float64(n), r.Height()/float64(n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			q := geom.V2(r.Min.X+(float64(i)+0.5)*dx, r.Min.Y+(float64(j)+0.5)*dy)
+			sum += p.EvalAt(q, t)
+		}
+	}
+	return sum * dx * dy
+}
+
+// TestPlumeMassConservation: with zero decay the closed-form Gaussians
+// integrate to the released mass at every time — splitting moves mass
+// around but never creates or destroys it. The quadrature runs while the
+// plumes are still well inside the region, so truncation is negligible
+// next to the 0.5% tolerance.
+func TestPlumeMassConservation(t *testing.T) {
+	p := testPlume()
+	want := 0.0
+	for _, s := range p.Sources {
+		want += s.Mass
+	}
+	for _, tm := range []float64{0, 5, 12, 20} {
+		got := quadrature(p, tm, 400)
+		if rel := math.Abs(got-want) / want; rel > 5e-3 {
+			t.Errorf("t=%g: integral = %g, want %g (rel err %g)", tm, got, want, rel)
+		}
+	}
+}
+
+// TestPlumeDecayLosesMass: with decay d every source's integral shrinks
+// by exp(−d·t), the first-order loss law the field documents.
+func TestPlumeDecayLosesMass(t *testing.T) {
+	p := testPlume()
+	for i := range p.Sources {
+		p.Sources[i].Decay = 0.05
+	}
+	const tm = 10.0
+	want := 0.0
+	for _, s := range p.Sources {
+		want += s.Mass * math.Exp(-0.05*tm)
+	}
+	got := quadrature(p, tm, 400)
+	if rel := math.Abs(got-want) / want; rel > 5e-3 {
+		t.Errorf("decayed integral = %g, want %g (rel err %g)", got, want, rel)
+	}
+}
+
+// TestPlumeAdvectionEquivariance: for sources released at T0 = 0, adding
+// a wind w is the same as translating every query by w·t — the
+// metamorphic relation that pins the advection term. Split sources obey
+// it too because the split axis is explicit, not wind-derived.
+func TestPlumeAdvectionEquivariance(t *testing.T) {
+	windy := testPlume()
+	still := testPlume()
+	still.Wind = geom.V2(0, 0)
+	for _, tm := range []float64{0, 3, 7.5, 20} {
+		shift := windy.Wind.Scale(tm)
+		for _, q := range GridPositions(geom.Square(200), 20) {
+			got := windy.EvalAt(q.Add(shift), tm)
+			want := still.EvalAt(q, tm)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("t=%g q=%v: windy(q+wt)=%g, still(q)=%g", tm, q, got, want)
+			}
+		}
+	}
+}
+
+// scalePlume scales every length in the plume by s (and the diffusion
+// rate by s², since σ² is a squared length): the geometry of the power-
+// of-two scale-equivariance relation, mirroring the FRA metamorphic
+// suite's transformation.
+func scalePlume(p *Plume, s float64) *Plume {
+	out := &Plume{
+		Region:        geom.Rect{Min: p.Region.Min.Scale(s), Max: p.Region.Max.Scale(s)},
+		Wind:          p.Wind.Scale(s),
+		DiffusionRate: p.DiffusionRate * s * s,
+	}
+	for _, src := range p.Sources {
+		src.Origin = src.Origin.Scale(s)
+		src.Sigma0 *= s
+		src.SplitSpeed *= s
+		out.Sources = append(out.Sources, src)
+	}
+	return out
+}
+
+// TestPlumeScaleEquivariance: scaling all lengths by a power of two s
+// (diffusion by s²) scales concentrations by exactly s⁻² — every
+// intermediate (d², σ², their ratio) commutes exactly with the scaling
+// in IEEE-754, so the assertion is on bits, not tolerances, exactly like
+// the core FRA metamorphic suite.
+func TestPlumeScaleEquivariance(t *testing.T) {
+	base := testPlume()
+	for _, s := range []float64{4, 0.125} {
+		scaled := scalePlume(base, s)
+		for _, tm := range []float64{0, 5, 13} {
+			for _, q := range GridPositions(geom.Square(200), 15) {
+				want := base.EvalAt(q, tm)
+				got := scaled.EvalAt(q.Scale(s), tm) * (s * s)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("s=%g t=%g q=%v: scaled·s² = %g (bits %016x), want %g (bits %016x)",
+						s, tm, q, got, math.Float64bits(got), want, math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestPlumeScenarioDeterminism: the sweep-facing constructor is a pure
+// function of its arguments, and its layout actually varies with seed.
+func TestPlumeScenarioDeterminism(t *testing.T) {
+	a := PlumeScenario(geom.Square(100), 7, 3, 0.6, 0.8, 0.01, 6)
+	b := PlumeScenario(geom.Square(100), 7, 3, 0.6, 0.8, 0.01, 6)
+	q := geom.V2(40, 60)
+	if math.Float64bits(a.EvalAt(q, 9)) != math.Float64bits(b.EvalAt(q, 9)) {
+		t.Fatal("same arguments produced different plumes")
+	}
+	if len(a.Sources) != 3 || a.Sources[0].SplitAt != 6 || a.Sources[1].SplitAt != 0 {
+		t.Fatalf("unexpected scenario layout: %+v", a.Sources)
+	}
+	c := PlumeScenario(geom.Square(100), 8, 3, 0.6, 0.8, 0.01, 6)
+	if a.EvalAt(q, 9) == c.EvalAt(q, 9) {
+		t.Fatal("different seeds produced identical plumes")
+	}
+}

@@ -41,14 +41,20 @@ type SamplePoint struct {
 	Z float64 `json:"z"`
 }
 
-// PlaceRequest asks for a k-node placement. Exactly one of Field and
-// Samples names the environment; the remaining knobs default to the
-// cmd/osd CLI's defaults so the same logical request yields the same
-// bytes either way.
+// PlaceRequest asks for a k-node placement. Exactly one of Field,
+// Dynfield and Samples names the environment; the remaining knobs
+// default to the cmd/osd CLI's defaults so the same logical request
+// yields the same bytes either way.
 type PlaceRequest struct {
 	// Field selects a synthetic environment generator (the sweep
 	// FieldSpec vocabulary: forest, peaks, terrain, ridge).
 	Field *sweep.FieldSpec `json:"field,omitempty"`
+	// Dynfield selects a generated time-varying environment (the sweep
+	// DynFieldSpec vocabulary: plume), sliced at time T.
+	Dynfield *sweep.DynFieldSpec `json:"dynfield,omitempty"`
+	// T is the slice time in minutes for Dynfield environments; plain
+	// fields and samples ignore it.
+	T float64 `json:"t,omitempty"`
 	// Samples is the inline alternative: uploaded field samples,
 	// reconstructed into a reference surface by Delaunay interpolation.
 	Samples []SamplePoint `json:"samples,omitempty"`
@@ -89,8 +95,10 @@ type PlaceResponse struct {
 // EvalRequest scores a caller-supplied deployment: δ of the Delaunay
 // reconstruction from the given node positions against the named field.
 type EvalRequest struct {
-	Field   *sweep.FieldSpec `json:"field,omitempty"`
-	Samples []SamplePoint    `json:"samples,omitempty"`
+	Field    *sweep.FieldSpec    `json:"field,omitempty"`
+	Dynfield *sweep.DynFieldSpec `json:"dynfield,omitempty"`
+	T        float64             `json:"t,omitempty"`
+	Samples  []SamplePoint       `json:"samples,omitempty"`
 	// Nodes are the deployed positions to evaluate (required).
 	Nodes []Point `json:"nodes"`
 	// Anchors are the reconstruction anchors; empty defaults to the
@@ -160,20 +168,37 @@ func tenantKey(r *http.Request) string {
 	return "anonymous"
 }
 
-// resolveField builds the reference surface from a request's field spec
-// or inline samples — exactly one must be present. Inline samples are
+// resolveField builds the reference surface from a request's field
+// spec, dynamic-field spec, or inline samples — exactly one must be
+// present. A dynfield is sliced at time t; inline samples are
 // triangulated over their bounding box, the same reconstruction the
 // evaluation stack uses everywhere else.
-func resolveField(spec *sweep.FieldSpec, samples []SamplePoint) (field.Field, error) {
+func resolveField(spec *sweep.FieldSpec, dyn *sweep.DynFieldSpec, t float64, samples []SamplePoint) (field.Field, error) {
+	set := 0
+	for _, present := range []bool{spec != nil, dyn != nil, len(samples) > 0} {
+		if present {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("field, dynfield and samples are mutually exclusive")
+	}
 	switch {
-	case spec != nil && len(samples) > 0:
-		return nil, fmt.Errorf("field and samples are mutually exclusive")
 	case spec != nil:
-		dyn, err := spec.Build()
+		d, err := spec.Build()
 		if err != nil {
 			return nil, err
 		}
-		return field.Slice(dyn, 0), nil
+		return field.Slice(d, 0), nil
+	case dyn != nil:
+		if !finite(t) || t < 0 {
+			return nil, fmt.Errorf("t=%g out of range for dynfield", t)
+		}
+		d, err := dyn.Build()
+		if err != nil {
+			return nil, err
+		}
+		return field.Slice(d, t), nil
 	case len(samples) >= 3:
 		pts := make([]geom.Vec2, len(samples))
 		fs := make([]field.Sample, len(samples))
@@ -196,19 +221,24 @@ func resolveField(spec *sweep.FieldSpec, samples []SamplePoint) (field.Field, er
 	case len(samples) > 0:
 		return nil, fmt.Errorf("need at least 3 samples to triangulate, got %d", len(samples))
 	default:
-		return nil, fmt.Errorf("one of field or samples is required")
+		return nil, fmt.Errorf("one of field, dynfield or samples is required")
 	}
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-// hashField folds a request's environment identity into h: the field
-// spec tuple (the digest idiom sweep.Spec.Digest uses) or the exact
-// bits of every inline sample.
-func hashField(h io.Writer, spec *sweep.FieldSpec, samples []SamplePoint) {
+// hashField folds a request's environment identity into h: the field or
+// dynfield spec tuple (the digest idiom sweep.Spec.Digest uses) or the
+// exact bits of every inline sample.
+func hashField(h io.Writer, spec *sweep.FieldSpec, dyn *sweep.DynFieldSpec, t float64, samples []SamplePoint) {
 	if spec != nil {
 		fmt.Fprintf(h, "field=%s|%d|%g|%d|%d|%g;", spec.Kind, spec.Seed, spec.Size,
 			spec.Gaps, spec.Levels, spec.Roughness)
+		return
+	}
+	if dyn != nil {
+		fmt.Fprintf(h, "dynfield=%s|%d|%g|%d|%g|%g|%g|%g;t=%g;", dyn.Kind, dyn.Seed,
+			dyn.Size, dyn.Sources, dyn.Wind, dyn.Diffusion, dyn.Decay, dyn.SplitAt, t)
 		return
 	}
 	fmt.Fprintf(h, "samples=%d;", len(samples))
@@ -255,7 +285,7 @@ func (pr *PlaceRequest) validate() error {
 func (pr *PlaceRequest) digest() string {
 	h := fnv.New64a()
 	io.WriteString(h, "place;")
-	hashField(h, pr.Field, pr.Samples)
+	hashField(h, pr.Field, pr.Dynfield, pr.T, pr.Samples)
 	fmt.Fprintf(h, "k=%d;rc=%g;grid=%d;delta=%d;seed=%d;strategy=%s",
 		pr.K, pr.Rc, pr.GridN, pr.DeltaN, pr.Seed, pr.Strategy)
 	return fmt.Sprintf("%016x", h.Sum64())
@@ -293,7 +323,7 @@ func (er *EvalRequest) validate() error {
 func (er *EvalRequest) digest() string {
 	h := fnv.New64a()
 	io.WriteString(h, "eval;")
-	hashField(h, er.Field, er.Samples)
+	hashField(h, er.Field, er.Dynfield, er.T, er.Samples)
 	fmt.Fprintf(h, "rc=%g;delta=%d;nodes=%d;", er.Rc, er.DeltaN, len(er.Nodes))
 	for _, n := range er.Nodes {
 		fmt.Fprintf(h, "%016x%016x;", math.Float64bits(n.X), math.Float64bits(n.Y))
@@ -339,7 +369,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad place request: %v", err)
 		return
 	}
-	ref, err := resolveField(req.Field, req.Samples)
+	ref, err := resolveField(req.Field, req.Dynfield, req.T, req.Samples)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad place request: %v", err)
 		return
@@ -401,7 +431,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad eval request: %v", err)
 		return
 	}
-	ref, err := resolveField(req.Field, req.Samples)
+	ref, err := resolveField(req.Field, req.Dynfield, req.T, req.Samples)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad eval request: %v", err)
 		return

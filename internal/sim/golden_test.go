@@ -106,6 +106,13 @@ func goldenWorld(t *testing.T, name string) (*World, int) {
 func recordGolden(t *testing.T, name string) goldenRun {
 	t.Helper()
 	w, slots := goldenWorld(t, name)
+	return recordRun(t, name, w, slots)
+}
+
+// recordRun drives an already-built world for slots steps and records
+// its full bit-level trajectory plus the final δ.
+func recordRun(t *testing.T, name string, w *World, slots int) goldenRun {
+	t.Helper()
 	run := goldenRun{Name: name, DeltaN: 30}
 	for s := 0; s < slots; s++ {
 		st, err := w.Step()
@@ -186,36 +193,42 @@ func verifyGolden(t *testing.T) {
 	for _, g := range want {
 		g := g
 		t.Run(g.Name, func(t *testing.T) {
-			got := recordGolden(t, g.Name)
-			if len(got.Slots) != len(g.Slots) {
-				t.Fatalf("slot count %d, want %d", len(got.Slots), len(g.Slots))
-			}
-			for s := range g.Slots {
-				ws, gs := g.Slots[s], got.Slots[s]
-				if gs.T != ws.T || gs.Moved != ws.Moved || gs.Followed != ws.Followed ||
-					gs.MeanForce != ws.MeanForce || gs.MeanDisp != ws.MeanDisp ||
-					gs.Energy != ws.Energy || gs.Alive != ws.Alive {
-					t.Fatalf("slot %d: stats diverged from golden:\ngot  %+v\nwant %+v", s, gs, ws)
-				}
-				if gs.Connected != ws.Connected {
-					t.Fatalf("slot %d: connectivity %v, golden %v", s, gs.Connected, ws.Connected)
-				}
-				if len(gs.Pos) != len(ws.Pos) {
-					t.Fatalf("slot %d: %d coords, golden %d", s, len(gs.Pos), len(ws.Pos))
-				}
-				for i := range ws.Pos {
-					if gs.Pos[i] != ws.Pos[i] {
-						t.Fatalf("slot %d node %d %s: coordinate bits %016x, golden %016x",
-							s, i/2, [2]string{"x", "y"}[i%2],
-							gs.Pos[i], ws.Pos[i])
-					}
-				}
-			}
-			if got.Delta != g.Delta {
-				t.Fatalf("δ bits %016x (%v), golden %016x (%v)",
-					got.Delta, math.Float64frombits(got.Delta),
-					g.Delta, math.Float64frombits(g.Delta))
-			}
+			compareRun(t, recordGolden(t, g.Name), g)
 		})
+	}
+}
+
+// compareRun fails on the first bit by which got diverges from the
+// recorded golden run.
+func compareRun(t *testing.T, got, g goldenRun) {
+	t.Helper()
+	if len(got.Slots) != len(g.Slots) {
+		t.Fatalf("slot count %d, want %d", len(got.Slots), len(g.Slots))
+	}
+	for s := range g.Slots {
+		ws, gs := g.Slots[s], got.Slots[s]
+		if gs.T != ws.T || gs.Moved != ws.Moved || gs.Followed != ws.Followed ||
+			gs.MeanForce != ws.MeanForce || gs.MeanDisp != ws.MeanDisp ||
+			gs.Energy != ws.Energy || gs.Alive != ws.Alive {
+			t.Fatalf("slot %d: stats diverged from golden:\ngot  %+v\nwant %+v", s, gs, ws)
+		}
+		if gs.Connected != ws.Connected {
+			t.Fatalf("slot %d: connectivity %v, golden %v", s, gs.Connected, ws.Connected)
+		}
+		if len(gs.Pos) != len(ws.Pos) {
+			t.Fatalf("slot %d: %d coords, golden %d", s, len(gs.Pos), len(ws.Pos))
+		}
+		for i := range ws.Pos {
+			if gs.Pos[i] != ws.Pos[i] {
+				t.Fatalf("slot %d node %d %s: coordinate bits %016x, golden %016x",
+					s, i/2, [2]string{"x", "y"}[i%2],
+					gs.Pos[i], ws.Pos[i])
+			}
+		}
+	}
+	if got.Delta != g.Delta {
+		t.Fatalf("δ bits %016x (%v), golden %016x (%v)",
+			got.Delta, math.Float64frombits(got.Delta),
+			g.Delta, math.Float64frombits(g.Delta))
 	}
 }

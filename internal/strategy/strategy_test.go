@@ -16,13 +16,13 @@ import (
 )
 
 // TestRegisteredNames pins the built-in registry contents: the paper's
-// algorithms plus the two competitor strategies, sorted.
+// algorithms plus the competitor strategies, sorted.
 func TestRegisteredNames(t *testing.T) {
-	wantP := []string{"cwd", "density", "fra", "lloyd", "random", "uniform"}
+	wantP := []string{"cwd", "density", "fra", "lloyd", "random", "tour", "uniform"}
 	if got := strategy.PlacementNames(); !reflect.DeepEqual(got, wantP) {
 		t.Fatalf("PlacementNames = %v, want %v", got, wantP)
 	}
-	wantM := []string{"cma", "density", "lloyd"}
+	wantM := []string{"cma", "density", "lloyd", "tour"}
 	if got := strategy.MovementNames(); !reflect.DeepEqual(got, wantM) {
 		t.Fatalf("MovementNames = %v, want %v", got, wantM)
 	}

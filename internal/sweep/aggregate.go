@@ -25,7 +25,7 @@ func WriteJSON(w io.Writer, rep *Report) error {
 // csvHeader is the flat per-cell schema; mobile columns are empty for
 // static-only sweeps.
 const csvHeader = "index,field,k,rc,strategy,fault_rate,seed,delta,delta_random,refined,relays,connected," +
-	"delta_end,delta_mean,convergence_t,converged,connected_uptime,sink_reach,energy,alive_end,deaths,repairs,rebuilds,error\n"
+	"delta_end,delta_mean,convergence_t,converged,connected_uptime,sink_reach,energy,delta_per_length,alive_end,deaths,repairs,rebuilds,error\n"
 
 // WriteCSV renders the report as CSV with the same determinism contract
 // as WriteJSON.
@@ -37,11 +37,12 @@ func WriteCSV(w io.Writer, rep *Report) error {
 			r.Index, r.Field, r.K, r.Rc, r.Strategy, r.FaultRate, r.Seed,
 			r.Delta, r.DeltaRandom, r.Refined, r.Relays, r.Connected)
 		if m := r.Mobile; m != nil {
-			fmt.Fprintf(&b, "%g,%g,%g,%v,%g,%g,%g,%d,%d,%d,%d,",
+			fmt.Fprintf(&b, "%g,%g,%g,%v,%g,%g,%g,%g,%d,%d,%d,%d,",
 				m.DeltaEnd, m.DeltaMean, m.ConvergenceT, m.Converged,
-				m.ConnectedUptime, m.SinkReach, m.Energy, m.AliveEnd, m.Deaths, m.Repairs, m.Rebuilds)
+				m.ConnectedUptime, m.SinkReach, m.Energy, m.DeltaPerLength,
+				m.AliveEnd, m.Deaths, m.Repairs, m.Rebuilds)
 		} else {
-			b.WriteString(",,,,,,,,,,,")
+			b.WriteString(",,,,,,,,,,,,")
 		}
 		b.WriteString(csvEscape(r.Err))
 		b.WriteByte('\n')
@@ -71,7 +72,7 @@ func WriteTable(w io.Writer, rep *Report) error {
 		}
 	}
 	if mobile {
-		fmt.Fprintln(tw, "field\tk\trc\tstrategy\trate\tseed\tδ\tδ(rand)\trelays\tconn\tδ_end\tconv_t\tuptime\tenergy\talive")
+		fmt.Fprintln(tw, "field\tk\trc\tstrategy\trate\tseed\tδ\tδ(rand)\trelays\tconn\tδ_end\tconv_t\tuptime\tenergy\tδ/m\talive")
 	} else {
 		fmt.Fprintln(tw, "field\tk\trc\tstrategy\trate\tseed\tδ\tδ(rand)\trelays\tconn")
 	}
@@ -87,9 +88,9 @@ func WriteTable(w io.Writer, rep *Report) error {
 			if m.Converged {
 				conv = fmt.Sprintf("%.0f", m.ConvergenceT)
 			}
-			fmt.Fprintf(tw, "\t%.1f\t%s\t%.2f\t%.1f\t%d", m.DeltaEnd, conv, m.ConnectedUptime, m.Energy, m.AliveEnd)
+			fmt.Fprintf(tw, "\t%.1f\t%s\t%.2f\t%.1f\t%.2f\t%d", m.DeltaEnd, conv, m.ConnectedUptime, m.Energy, m.DeltaPerLength, m.AliveEnd)
 		} else if mobile {
-			fmt.Fprint(tw, "\t\t\t\t\t")
+			fmt.Fprint(tw, "\t\t\t\t\t\t")
 		}
 		fmt.Fprintln(tw)
 	}

@@ -73,11 +73,17 @@ type MobileResult struct {
 	// Energy is the swarm's total distance traveled over the run (meters)
 	// — the bench-off's movement-cost axis.
 	Energy float64 `json:"energy"`
+	// DeltaPerLength is the Dutta-style tour-efficiency score: mean δ
+	// normalized by mean per-node travel, DeltaMean / (1 + Energy/k).
+	// The +1 meter keeps zero-travel strategies finite and comparable —
+	// a strategy only scores better here by buying δ with meters.
+	DeltaPerLength float64 `json:"delta_per_length"`
 }
 
-// RunCell executes one cell end to end: build the field, run the cell's
-// placement strategy and its random baseline on the t = 0 reference
-// slice, and (when the spec has a mobile phase) run the movement swarm
+// RunCell executes one cell end to end: build the environment (plain
+// field, generated dynfield, or trace replay), run the cell's placement
+// strategy and its random baseline on the t = 0 reference slice, and
+// (when the spec has a mobile phase) run the movement swarm
 // under the cell's fault profile. A panic
 // anywhere inside is converted into the cell's Err — per-cell isolation —
 // so one degenerate scenario cannot abort a thousand-cell batch. It is
@@ -91,7 +97,7 @@ func RunCell(s *Spec, c Cell, reg *obs.Registry) (res Result) {
 	}
 	res = Result{
 		Index: c.Index, Digest: s.Digest(c),
-		Field: c.Field.Label(), K: c.K, Rc: c.Rc, Strategy: name,
+		Field: c.EnvLabel(), K: c.K, Rc: c.Rc, Strategy: name,
 		FaultRate: c.Fault.Rate, Seed: c.Seed,
 	}
 	defer func() {
@@ -99,7 +105,7 @@ func RunCell(s *Spec, c Cell, reg *obs.Registry) (res Result) {
 			res.Err = fmt.Sprintf("panic: %v", r)
 		}
 	}()
-	dyn, err := c.Field.Build()
+	dyn, err := c.BuildEnv()
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -197,5 +203,6 @@ func runMobileCell(s *Spec, c Cell, dyn field.DynField, reg *obs.Registry) (*Mob
 		Repairs:         row.Repairs,
 		Rebuilds:        row.Rebuilds,
 		Energy:          row.Energy,
+		DeltaPerLength:  row.DeltaMean / (1 + row.Energy/float64(c.K)),
 	}, nil
 }

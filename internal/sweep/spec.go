@@ -130,6 +130,11 @@ type Spec struct {
 	Name string `json:"name"`
 	// Fields are the environment generators to sweep over.
 	Fields []FieldSpec `json:"fields"`
+	// DynFields are generated time-varying environments (advection–
+	// diffusion plumes); they join Fields in the environment axis.
+	DynFields []DynFieldSpec `json:"dynfields,omitempty"`
+	// Traces are recorded CSV time series replayed as environments.
+	Traces []TraceSpec `json:"traces,omitempty"`
 	// Ks are the node counts.
 	Ks []int `json:"ks"`
 	// Rcs are the communication radii.
@@ -179,11 +184,21 @@ func (s *Spec) Normalize() {
 
 // Validate rejects empty or malformed grids. Call Normalize first.
 func (s *Spec) Validate() error {
-	if len(s.Fields) == 0 || len(s.Ks) == 0 || len(s.Rcs) == 0 {
-		return fmt.Errorf("sweep: spec needs at least one field, k and rc")
+	if s.NumEnvs() == 0 || len(s.Ks) == 0 || len(s.Rcs) == 0 {
+		return fmt.Errorf("sweep: spec needs at least one environment (field, dynfield or trace), k and rc")
 	}
 	for _, fs := range s.Fields {
 		if err := fs.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, ds := range s.DynFields {
+		if err := ds.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, ts := range s.Traces {
+		if err := ts.Validate(); err != nil {
 			return err
 		}
 	}
@@ -218,18 +233,30 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// NumEnvs is the size of the environment axis: plain fields, generated
+// dynamic fields, and trace replays together.
+func (s *Spec) NumEnvs() int {
+	return len(s.Fields) + len(s.DynFields) + len(s.Traces)
+}
+
 // NumCells is the size of the cartesian product.
 func (s *Spec) NumCells() int {
-	return len(s.Fields) * len(s.Ks) * len(s.Rcs) * len(s.Strategies) * len(s.Faults) * len(s.Seeds)
+	return s.NumEnvs() * len(s.Ks) * len(s.Rcs) * len(s.Strategies) * len(s.Faults) * len(s.Seeds)
 }
 
 // Cell is one point of the scenario grid.
 type Cell struct {
 	// Index is the cell's position in the fixed enumeration order
-	// (field-major, seed-minor); the aggregator orders output by it.
+	// (environment-major, seed-minor); the aggregator orders output by it.
 	Index int
-	// Field, K, Rc, Strategy, Fault and Seed are the cell's coordinates.
-	Field    FieldSpec
+	// Field is the cell's environment when it is a plain field; exactly
+	// one of Field (non-empty Kind), Dyn and Trace is set.
+	Field FieldSpec
+	// Dyn is set when the cell's environment is a generated dynamic
+	// field, Trace when it is a recorded-trace replay.
+	Dyn   *DynFieldSpec
+	Trace *TraceSpec
+	// K, Rc, Strategy, Fault and Seed are the remaining coordinates.
 	K        int
 	Rc       float64
 	Strategy string
@@ -237,12 +264,52 @@ type Cell struct {
 	Seed     int64
 }
 
-// Cells enumerates the grid in the fixed deterministic order: fields
-// outermost, then ks, rcs, strategies, fault profiles, and seeds
-// innermost.
+// BuildEnv constructs the cell's environment, whichever of the three
+// axes it came from.
+func (c Cell) BuildEnv() (field.DynField, error) {
+	switch {
+	case c.Dyn != nil:
+		return c.Dyn.Build()
+	case c.Trace != nil:
+		return c.Trace.Build()
+	default:
+		return c.Field.Build()
+	}
+}
+
+// EnvLabel is the cell environment's CSV/report name.
+func (c Cell) EnvLabel() string {
+	switch {
+	case c.Dyn != nil:
+		return c.Dyn.Label()
+	case c.Trace != nil:
+		return c.Trace.Label()
+	default:
+		return c.Field.Label()
+	}
+}
+
+// Cells enumerates the grid in the fixed deterministic order:
+// environments outermost — plain fields, then dynfields, then traces —
+// then ks, rcs, strategies, fault profiles, and seeds innermost.
 func (s *Spec) Cells() []Cell {
-	cells := make([]Cell, 0, s.NumCells())
+	type env struct {
+		field FieldSpec
+		dyn   *DynFieldSpec
+		trace *TraceSpec
+	}
+	envs := make([]env, 0, s.NumEnvs())
 	for _, fs := range s.Fields {
+		envs = append(envs, env{field: fs})
+	}
+	for i := range s.DynFields {
+		envs = append(envs, env{dyn: &s.DynFields[i]})
+	}
+	for i := range s.Traces {
+		envs = append(envs, env{trace: &s.Traces[i]})
+	}
+	cells := make([]Cell, 0, s.NumCells())
+	for _, e := range envs {
 		for _, k := range s.Ks {
 			for _, rc := range s.Rcs {
 				for _, st := range s.Strategies {
@@ -250,7 +317,8 @@ func (s *Spec) Cells() []Cell {
 						for _, seed := range s.Seeds {
 							cells = append(cells, Cell{
 								Index: len(cells),
-								Field: fs, K: k, Rc: rc, Strategy: st, Fault: fp, Seed: seed,
+								Field: e.field, Dyn: e.dyn, Trace: e.trace,
+								K: k, Rc: rc, Strategy: st, Fault: fp, Seed: seed,
 							})
 						}
 					}
@@ -269,8 +337,20 @@ func (s *Spec) Cells() []Cell {
 // inputs changed.
 func (s *Spec) Digest(c Cell) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "field=%s|%d|%g|%d|%d|%g;", c.Field.Kind, c.Field.Seed, c.Field.Size,
-		c.Field.Gaps, c.Field.Levels, c.Field.Roughness)
+	switch {
+	case c.Dyn != nil:
+		// Distinct prefixes per environment kind: a checkpoint written
+		// before the dynfield/trace axes existed can never satisfy a
+		// dynamic cell, and a plain-field cell's digest is unchanged from
+		// the pre-axis format so old checkpoints keep replaying.
+		fmt.Fprintf(h, "dynfield=%s|%d|%g|%d|%g|%g|%g|%g;", c.Dyn.Kind, c.Dyn.Seed,
+			c.Dyn.Size, c.Dyn.Sources, c.Dyn.Wind, c.Dyn.Diffusion, c.Dyn.Decay, c.Dyn.SplitAt)
+	case c.Trace != nil:
+		fmt.Fprintf(h, "trace=%s|%g;", c.Trace.contentHash(), c.Trace.Size)
+	default:
+		fmt.Fprintf(h, "field=%s|%d|%g|%d|%d|%g;", c.Field.Kind, c.Field.Seed, c.Field.Size,
+			c.Field.Gaps, c.Field.Levels, c.Field.Roughness)
+	}
 	fmt.Fprintf(h, "k=%d;rc=%g;strategy=%s;fault=%g|%d;seed=%d;", c.K, c.Rc, c.Strategy, c.Fault.Rate, c.Fault.Seed, c.Seed)
 	fmt.Fprintf(h, "grid=%d;delta=%d;draws=%d;slots=%d", s.GridN, s.DeltaN, s.RandomDraws, s.Slots)
 	return fmt.Sprintf("%016x", h.Sum64())
@@ -321,16 +401,23 @@ func LoadSpecFile(path string) (Spec, error) {
 }
 
 // ExampleSpec is a small, fast grid exercising every axis — two field
-// shapes, three node counts, two strategies, two fault profiles, static
-// and mobile phases — sized so a full run takes seconds. cmd/sweep
-// -example prints it, CI smokes it, and the README walks through it.
+// shapes, a splitting plume, an inline trace replay, three strategies,
+// two fault profiles, static and mobile phases — sized so a full run
+// takes seconds. cmd/sweep -example prints it, CI smokes it, and the
+// README walks through it.
 func ExampleSpec() Spec {
 	s := Spec{
-		Name:        "example",
-		Fields:      []FieldSpec{{Kind: "forest"}, {Kind: "peaks"}},
-		Ks:          []int{10, 20, 40},
+		Name:   "example",
+		Fields: []FieldSpec{{Kind: "forest"}, {Kind: "peaks"}},
+		DynFields: []DynFieldSpec{
+			{Kind: "plume", Seed: 2, Sources: 2, SplitAt: 4},
+		},
+		Traces: []TraceSpec{
+			{Name: "trace:example", Inline: exampleTraceCSV},
+		},
+		Ks:          []int{10, 20},
 		Rcs:         []float64{10},
-		Strategies:  []string{"fra", "lloyd"},
+		Strategies:  []string{"fra", "lloyd", "tour"},
 		Faults:      []fault.ProfileSpec{{}, {Rate: 0.3}},
 		Seeds:       []int64{1},
 		GridN:       30,
@@ -341,3 +428,20 @@ func ExampleSpec() Spec {
 	s.Normalize()
 	return s
 }
+
+// exampleTraceCSV is a tiny two-epoch recorded trace in the WriteTrace
+// format: five stations reporting at t = 0 and t = 10 with the hot spot
+// migrating between them, so the replay field is genuinely time-varying
+// inside the example's 8-slot mobile phase.
+const exampleTraceCSV = `t,x,y,z
+0,20,20,2
+0,80,30,0.5
+0,50,50,1
+0,30,80,0.8
+0,75,75,1.5
+10,20,20,0.5
+10,80,30,2
+10,50,50,1.2
+10,30,80,1.4
+10,75,75,0.3
+`

@@ -127,8 +127,11 @@ type (
 	Robustness = graph.Robustness
 	// Terrain is a fractal height field (rugged-environment model).
 	Terrain = field.Terrain
-	// Plume is an advecting pollutant release (sharply time-varying).
+	// Plume is an advection–diffusion pollutant field built from
+	// drifting, splitting, decaying Gaussian releases.
 	Plume = field.Plume
+	// PlumeSource is one release feeding a Plume.
+	PlumeSource = field.PlumeSource
 )
 
 // Fault-injection and graceful-degradation API (DESIGN.md §7).

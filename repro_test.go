@@ -162,7 +162,9 @@ func TestFacadeEnvironmentExtensions(t *testing.T) {
 	if ridge.Eval(V2(50, 50)) <= ridge.Eval(V2(50, 80)) {
 		t.Error("ridge not peaked on its line")
 	}
-	plume := &Plume{Region: Square(100), Source: V2(50, 50), Mass: 10, Sigma0: 3}
+	plume := &Plume{Region: Square(100), Sources: []PlumeSource{
+		{Origin: V2(50, 50), Mass: 10, Sigma0: 3},
+	}}
 	if plume.EvalAt(V2(50, 50), 0) <= 0 {
 		t.Error("plume peak not positive")
 	}
